@@ -1,0 +1,80 @@
+// Ablation (§3.4): the cost model's feature selection, and cost-factor
+// recovery against the simulator's ground truth.
+//
+// Unlike the paper's authors — who could not inspect Giraph's true cost
+// factors — this repo knows the generative CostProfile, so we can check
+// directly whether the regression recovers the per-remote-byte and
+// per-remote-message costs from noisy profiled runs, and whether forward
+// selection beats fitting all seven (partially collinear) features.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cost_model.h"
+#include "core/history.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Ablation: cost model feature selection + factor recovery",
+              "Popescu et al., VLDB'13, §3.4 'Customizable Cost Model'");
+
+  const AlgorithmConfig config = {{"tau", 0.001}};
+  const std::vector<std::string> datasets = {"lj", "wiki", "uk"};
+
+  // Training set: actual runs of top-k on all datasets (iteration rows).
+  std::vector<TrainingRow> rows;
+  for (const std::string& name : datasets) {
+    const AlgorithmRunResult* actual = GetActualRun("topk_ranking", name, config);
+    if (actual == nullptr) continue;
+    const Graph& graph = GetDataset(name);
+    const RunProfile profile = ProfileFromRunStats(
+        "topk_ranking", name, graph.num_vertices(), graph.num_edges(),
+        actual->stats);
+    const auto profile_rows = TrainingRowsFromProfile(profile);
+    rows.insert(rows.end(), profile_rows.begin(), profile_rows.end());
+  }
+  std::printf("training rows (iterations x datasets): %zu\n\n", rows.size());
+
+  CostModelOptions with_selection;
+  CostModelOptions without_selection;
+  without_selection.use_feature_selection = false;
+
+  auto with_model = CostModel::Train(rows, with_selection);
+  auto without_model = CostModel::Train(rows, without_selection);
+  if (!with_model.ok() || !without_model.ok()) {
+    std::printf("training failed\n");
+    return 1;
+  }
+
+  std::printf("forward selection ON : %s\n", with_model->ToString().c_str());
+  std::printf("forward selection OFF: %s\n\n", without_model->ToString().c_str());
+
+  // Ground truth from the simulated cluster.
+  const bsp::CostProfile truth = BenchEngine().cost_profile;
+  std::printf("simulator ground truth (hidden from the paper's authors,\n"
+              "visible to this repro for validation):\n");
+  std::printf("  per remote byte    %.3g s  (per local byte  %.3g s)\n",
+              truth.per_remote_byte_seconds, truth.per_local_byte_seconds);
+  std::printf("  per remote message %.3g s  (per local msg   %.3g s)\n",
+              truth.per_remote_message_seconds,
+              truth.per_local_message_seconds);
+  std::printf("  barrier (the model's residual r) %.3g s\n\n",
+              truth.barrier_seconds);
+
+  const LinearModel& model = with_model->model();
+  for (size_t i = 0; i < model.feature_indices.size(); ++i) {
+    const Feature feature = static_cast<Feature>(model.feature_indices[i]);
+    std::printf("recovered %-11s coefficient: %.4g\n", FeatureName(feature),
+                model.coefficients[i]);
+  }
+  std::printf("recovered residual r: %.4g (vs barrier %.3g)\n",
+              model.intercept, truth.barrier_seconds);
+  std::printf(
+      "\nexpected: selection keeps the message-byte/count features (the\n"
+      "network-dominated model of §3.1), the residual lands near the\n"
+      "barrier overhead, and the selected model's R2 matches the\n"
+      "all-features fit with fewer degrees of freedom.\n");
+  return 0;
+}

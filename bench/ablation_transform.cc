@@ -1,0 +1,62 @@
+// Ablation (§3.2.2 / Figure 2): the transform function matters.
+// Predict PageRank iterations with the default rule tau_S = tau_G / sr
+// versus the identity transform (no scaling). Without scaling, the
+// sample run keeps iterating past the actual run's convergence point
+// and over-predicts.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/transform.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Ablation: transform function on/off (PageRank, eps = 0.001)",
+              "Popescu et al., VLDB'13, §3.2.2 / Figure 2 discussion");
+
+  const IdentityTransform identity;
+  std::printf("%-6s %-8s", "data", "actual");
+  for (const double ratio : SamplingRatios()) {
+    std::printf("  sr=%-11.2f", ratio);
+  }
+  std::printf("\n%-15s", "");
+  for (size_t i = 0; i < SamplingRatios().size(); ++i) {
+    std::printf("  %6s %6s", "w/ T", "w/o T");
+  }
+  std::printf("\n");
+
+  for (const std::string name : {"lj", "wiki", "uk", "tw"}) {
+    const Graph& graph = GetDataset(name);
+    const AlgorithmConfig config = PageRankConfig(graph, 0.001);
+    const AlgorithmRunResult* actual = GetActualRun("pagerank", name, config);
+    if (actual == nullptr) continue;
+    const int actual_iters = actual->stats.num_supersteps();
+    std::printf("%-6s %-8d", name.c_str(), actual_iters);
+    for (const double ratio : SamplingRatios()) {
+      int with_transform = -1, without_transform = -1;
+      {
+        Predictor predictor(MakePredictorOptions(ratio));
+        auto report = predictor.PredictRuntime("pagerank", graph, name, config);
+        if (report.ok()) with_transform = report->predicted_iterations;
+      }
+      {
+        PredictorOptions options = MakePredictorOptions(ratio);
+        options.transform = &identity;
+        Predictor predictor(options);
+        auto report = predictor.PredictRuntime("pagerank", graph, name, config);
+        if (report.ok()) without_transform = report->predicted_iterations;
+      }
+      std::printf("  %6d %6d", with_transform, without_transform);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected: the w/o-T column over-predicts iterations at every\n"
+      "ratio (the unscaled threshold is too strict for the sample's\n"
+      "smaller rank mass); w/ T tracks the actual count. This is the\n"
+      "Figure-2 lesson: sampling technique + transform function only\n"
+      "work in combination.\n");
+  return 0;
+}

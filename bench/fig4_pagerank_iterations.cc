@@ -1,0 +1,55 @@
+// Figure 4: relative error of predicting PageRank's iteration count vs.
+// sampling ratio, for tolerance levels eps = 0.01 (top) and 0.001
+// (bottom), on all four datasets. BRJ sampling + the default transform
+// tau_S = tau_G / sr.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Figure 4: predicting iterations for PageRank",
+              "Popescu et al., VLDB'13, Figure 4");
+
+  for (const double epsilon : {0.01, 0.001}) {
+    std::printf("\n--- eps = %g (tau = eps/N) ---\n", epsilon);
+    std::printf("%-6s", "data");
+    for (const double ratio : SamplingRatios()) {
+      std::printf("  sr=%-4.2f", ratio);
+    }
+    std::printf("  actual_iters\n");
+
+    for (const std::string name : {"lj", "wiki", "uk", "tw"}) {
+      const Graph& graph = GetDataset(name);
+      const AlgorithmConfig config = PageRankConfig(graph, epsilon);
+      const AlgorithmRunResult* actual = GetActualRun("pagerank", name, config);
+      std::printf("%-6s", name.c_str());
+      if (actual == nullptr) {
+        std::printf("  (OOM on actual run)\n");
+        continue;
+      }
+      const int actual_iters = actual->stats.num_supersteps();
+      for (const double ratio : SamplingRatios()) {
+        Predictor predictor(MakePredictorOptions(ratio));
+        auto report = predictor.PredictRuntime("pagerank", graph, name, config);
+        if (!report.ok()) {
+          std::printf("  %7s", "err");
+          continue;
+        }
+        const double error = SignedError(report->predicted_iterations,
+                                         actual_iters);
+        std::printf("  %7s", ErrorCell(error).c_str());
+      }
+      std::printf("  %d\n", actual_iters);
+    }
+  }
+  std::printf(
+      "\npaper shape: errors shrink as sr grows; <=20%% at sr=0.1 for the\n"
+      "scale-free graphs, LJ worst (~40%% at eps=0.01); eps=0.001 errors\n"
+      "below 10%% everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 6: accuracy of estimating top-k ranking's key input features:
+// iteration count (top) and remote message bytes (bottom), tau = 0.001.
+// Sample runs execute on PageRank output computed on the sample, as in
+// §4.3. Twitter OOMs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Figure 6: predicting key features for top-k ranking",
+              "Popescu et al., VLDB'13, Figure 6");
+
+  const AlgorithmConfig config = {{"tau", 0.001}};
+
+  struct Row {
+    std::string name;
+    std::vector<double> iter_errors;
+    std::vector<double> byte_errors;
+    int actual_iters = 0;
+    bool oom = false;
+  };
+  std::vector<Row> rows;
+
+  for (const std::string name : {"lj", "wiki", "uk", "tw"}) {
+    const Graph& graph = GetDataset(name);
+    Row row;
+    row.name = name;
+    const AlgorithmRunResult* actual = GetActualRun("topk_ranking", name, config);
+    if (actual == nullptr) {
+      row.oom = true;
+      rows.push_back(row);
+      continue;
+    }
+    row.actual_iters = actual->stats.num_supersteps();
+    double actual_remote_bytes = 0.0;
+    const bsp::WorkerId critical = actual->stats.static_critical_worker;
+    for (const auto& step : actual->stats.supersteps) {
+      actual_remote_bytes +=
+          static_cast<double>(step.per_worker[critical].remote_message_bytes);
+    }
+    for (const double ratio : SamplingRatios()) {
+      Predictor predictor(MakePredictorOptions(ratio));
+      auto report = predictor.PredictRuntime("topk_ranking", graph, name, config);
+      if (!report.ok()) {
+        row.iter_errors.push_back(NAN);
+        row.byte_errors.push_back(NAN);
+        continue;
+      }
+      row.iter_errors.push_back(
+          SignedError(report->predicted_iterations, row.actual_iters));
+      row.byte_errors.push_back(SignedError(
+          report->PredictedCriticalRemoteBytes(), actual_remote_bytes));
+    }
+    rows.push_back(row);
+  }
+
+  auto print_block = [&](const char* title,
+                         const std::vector<double> Row::*errors) {
+    std::printf("\n--- %s ---\n", title);
+    std::printf("%-6s", "data");
+    for (const double ratio : SamplingRatios()) {
+      std::printf("  sr=%-4.2f", ratio);
+    }
+    std::printf("\n");
+    for (const Row& row : rows) {
+      std::printf("%-6s", row.name.c_str());
+      if (row.oom) {
+        std::printf("  OOM (out of cluster memory, as in the paper)\n");
+        continue;
+      }
+      for (const double error : row.*errors) {
+        std::printf("  %7s", ErrorCell(error).c_str());
+      }
+      std::printf("\n");
+    }
+  };
+  print_block("relative error: iterations (tau = 0.001)", &Row::iter_errors);
+  print_block("relative error: remote message bytes (critical worker)",
+              &Row::byte_errors);
+
+  std::printf(
+      "\npaper shape: iteration errors < 35%% for scale-free graphs (LJ\n"
+      "over-estimates by up to 1.5x); remote-byte errors < 10%% for\n"
+      "scale-free graphs (LJ ~40%%). Byte accuracy matters more than\n"
+      "iteration accuracy because per-iteration runtime varies.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8: relative error of predicting top-k ranking's runtime:
+//   a) cost model trained on sample runs only;
+//   b) + history of actual runs on the other datasets.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/history.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Figure 8: predicting runtime for top-k ranking",
+              "Popescu et al., VLDB'13, Figure 8 (a: top, b: bottom)");
+
+  const AlgorithmConfig config = {{"tau", 0.001}};
+  const std::vector<std::string> datasets = {"lj", "wiki", "uk"};
+
+  HistoryStore history;
+  for (const std::string& name : datasets) {
+    const AlgorithmRunResult* actual = GetActualRun("topk_ranking", name, config);
+    if (actual == nullptr) continue;
+    const Graph& graph = GetDataset(name);
+    history.Add(ProfileFromRunStats("topk_ranking", name, graph.num_vertices(),
+                                    graph.num_edges(), actual->stats));
+  }
+
+  for (const bool use_history : {false, true}) {
+    std::printf("\n--- %s ---\n",
+                use_history ? "b) training: sample runs + history of actual runs"
+                            : "a) training: sample runs only");
+    std::printf("%-6s", "data");
+    for (const double ratio : SamplingRatios()) {
+      std::printf("  sr=%-4.2f", ratio);
+    }
+    std::printf("  R2(sr=0.1)  actual_s\n");
+
+    for (const std::string& name : datasets) {
+      const Graph& graph = GetDataset(name);
+      const AlgorithmRunResult* actual = GetActualRun("topk_ranking", name, config);
+      std::printf("%-6s", name.c_str());
+      if (actual == nullptr) {
+        std::printf("  OOM\n");
+        continue;
+      }
+      double r2_at_01 = 0.0;
+      for (const double ratio : SamplingRatios()) {
+        PredictorOptions options = MakePredictorOptions(ratio);
+        if (use_history) options.history = &history;
+        Predictor predictor(options);
+        auto report =
+            predictor.PredictRuntime("topk_ranking", graph, name, config);
+        if (!report.ok()) {
+          std::printf("  %7s", "err");
+          continue;
+        }
+        if (ratio == 0.10) r2_at_01 = report->cost_model.r_squared();
+        std::printf("  %7s",
+                    ErrorCell(SignedError(report->predicted_superstep_seconds,
+                                          actual->stats.superstep_phase_seconds))
+                        .c_str());
+      }
+      std::printf("  %9.3f  %8.1f\n", r2_at_01,
+                  actual->stats.superstep_phase_seconds);
+    }
+  }
+  std::printf(
+      "\npaper shape: errors <10%% for the scale-free graphs; LJ over-\n"
+      "predicted (short sample runs inflate its cost factors); history\n"
+      "lifts every R2 to ~0.99.\n");
+  return 0;
+}

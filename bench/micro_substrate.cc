@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks of the substrate: CSR construction,
+// BFS-based statistics, sampling walks, a BSP superstep, and cost-model
+// fitting. These guard the engine's performance, not the paper's
+// numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "algorithms/pagerank.h"
+#include "common/rng.h"
+#include "core/cost_model.h"
+#include "core/regression.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "sampling/sampler.h"
+
+namespace {
+
+using namespace predict;
+
+const Graph& BenchGraph() {
+  static const Graph graph =
+      GeneratePreferentialAttachment({50000, 8, 0.3, 123}).MoveValue();
+  return graph;
+}
+
+void BM_GraphBuildCsr(benchmark::State& state) {
+  const auto edges = BenchGraph().ToEdgeList();
+  const VertexId n = static_cast<VertexId>(BenchGraph().num_vertices());
+  for (auto _ : state) {
+    auto graph = Graph::FromEdges(n, edges);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuildCsr)->Unit(benchmark::kMillisecond);
+
+void BM_EffectiveDiameter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EffectiveDiameter(BenchGraph(), 0.9, static_cast<uint32_t>(state.range(0)), 7));
+  }
+}
+BENCHMARK(BM_EffectiveDiameter)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BrjSampling(benchmark::State& state) {
+  SamplerOptions options;
+  options.kind = SamplerKind::kBiasedRandomJump;
+  options.sampling_ratio = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto sample = SampleGraph(BenchGraph(), options);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_BrjSampling)->Arg(1)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_PageRankSuperstep(benchmark::State& state) {
+  // Fixed 3 supersteps of PageRank; measures engine throughput.
+  bsp::EngineOptions options;
+  options.num_workers = 29;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.max_supersteps = 3;
+  for (auto _ : state) {
+    auto result = RunPageRank(BenchGraph(), {{"tau", 0.0}}, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          static_cast<int64_t>(BenchGraph().num_edges()));
+}
+BENCHMARK(BM_PageRankSuperstep)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardSelection(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(kNumFeatures);
+    for (auto& x : row) x = rng.NextDouble() * 1e6;
+    y.push_back(2e-6 * row[3] + 9e-8 * row[5] + 0.25);
+    rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    auto model = ForwardSelect(rows, y, kNumFeatures);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ForwardSelection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

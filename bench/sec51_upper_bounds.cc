@@ -1,0 +1,41 @@
+// §5.1 "Upper Bound Estimates": the Langville-Meyer analytical bound
+// log10(eps)/log10(d) vs. PREDIcT's sample-run estimate vs. the actual
+// iteration count, for PageRank on every dataset.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/bounds.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Section 5.1: analytical upper bound vs PREDIcT vs actual",
+              "Popescu et al., VLDB'13, §5.1 'Upper Bound Estimates'");
+
+  std::printf("%-8s %-6s %-8s %-9s %-8s %-12s %s\n", "eps", "data", "actual",
+              "PREDIcT", "bound", "bound/actual", "(bound is graph-blind)");
+  for (const double epsilon : {0.1, 0.01, 0.001}) {
+    const double bound = PageRankIterationUpperBound(epsilon, 0.85).value();
+    for (const std::string name : {"lj", "wiki", "uk", "tw"}) {
+      const Graph& graph = GetDataset(name);
+      const AlgorithmConfig config = PageRankConfig(graph, epsilon);
+      const AlgorithmRunResult* actual = GetActualRun("pagerank", name, config);
+      if (actual == nullptr) continue;
+      Predictor predictor(MakePredictorOptions(0.1));
+      auto report = predictor.PredictRuntime("pagerank", graph, name, config);
+      const int predicted =
+          report.ok() ? report->predicted_iterations : -1;
+      std::printf("%-8g %-6s %-8d %-9d %-8.1f %.1fx\n", epsilon, name.c_str(),
+                  actual->stats.num_supersteps(), predicted, bound,
+                  bound / actual->stats.num_supersteps());
+    }
+  }
+  std::printf(
+      "\npaper shape: the closed-form bound ignores the dataset and lands\n"
+      "2x-3.5x above the actual count (42 vs <21 for eps=0.001); the\n"
+      "sample-run estimate tracks the actual count closely.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 3: runtime of sample runs (sr = 0.01, 0.1, 0.2) vs. actual runs
+// (sr = 1.0), in simulated seconds, for PageRank (UK, TW),
+// semi-clustering (UK), connected components (TW), top-k (UK) and
+// neighborhood estimation (UK) — the §5.4 overhead analysis.
+//
+// Sample-run times include all phases (setup/read/supersteps/write),
+// matching the paper's accounting of the sample run as a complete job.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sampling/sampler.h"
+
+int main() {
+  using namespace predict;
+  using namespace predict::benchutil;
+
+  PrintBanner("Table 3: runtime of sample runs vs actual runs (seconds)",
+              "Popescu et al., VLDB'13, Table 3");
+
+  struct Column {
+    const char* algorithm;
+    const char* dataset;
+    AlgorithmConfig config;
+  };
+  const std::vector<Column> columns = {
+      {"pagerank", "uk", {}},
+      {"pagerank", "tw", {}},
+      {"semiclustering", "uk", {{"tau", 0.001}}},
+      {"connected_components", "tw", {}},
+      {"topk_ranking", "uk", {{"tau", 0.001}}},
+      {"neighborhood", "uk", {{"tau", 0.001}}},
+  };
+
+  std::printf("%-5s", "SR");
+  for (const Column& column : columns) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "%.4s(%s)", column.algorithm,
+                  column.dataset);
+    std::printf(" %10s", head);
+  }
+  std::printf("\n");
+
+  for (const double ratio : {0.01, 0.1, 0.2, 1.0}) {
+    std::printf("%-5.2f", ratio);
+    for (const Column& column : columns) {
+      const Graph& graph = GetDataset(column.dataset);
+      AlgorithmConfig config = column.config;
+      if (std::string(column.algorithm) == "pagerank") {
+        config = PageRankConfig(graph, 0.001);
+      }
+      double seconds = 0.0;
+      if (ratio == 1.0) {
+        const AlgorithmRunResult* actual =
+            GetActualRun(column.algorithm, column.dataset, config);
+        if (actual == nullptr) {
+          std::printf(" %10s", "OOM");
+          continue;
+        }
+        seconds = actual->stats.total_seconds;
+      } else {
+        Predictor predictor(MakePredictorOptions(ratio));
+        auto report = predictor.PredictRuntime(column.algorithm, graph,
+                                               column.dataset, config);
+        if (!report.ok()) {
+          std::printf(" %10s", "err");
+          continue;
+        }
+        seconds = report->sample_total_seconds;
+      }
+      std::printf(" %10.0f", seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper shape: a 0.1 sample run costs a few percent of the actual\n"
+      "run for long algorithms (3.5%% for PR on the dense TW graph, whose\n"
+      "vertex-ratio samples carry ~9x fewer edges per vertex); relatively\n"
+      "more for short pre-processing-dominated jobs like CC.\n");
+  return 0;
+}

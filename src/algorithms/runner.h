@@ -1,0 +1,62 @@
+// Type-erased algorithm execution.
+//
+// PREDIcT's predictor is algorithm-agnostic: it looks an algorithm up by
+// name, resolves its spec (for the transform rules), runs it on a graph
+// (sample or complete), and consumes only the RunStats. This registry is
+// also the extension point for user-defined algorithms (§3.2.2: "users
+// can plug in their own set of transformations" — and, here, their own
+// algorithms).
+
+#ifndef PREDICT_ALGORITHMS_RUNNER_H_
+#define PREDICT_ALGORITHMS_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm_spec.h"
+#include "bsp/engine.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace predict {
+
+/// Inputs of a type-erased run.
+struct RunOptions {
+  bsp::EngineOptions engine;
+  /// Overrides applied on top of the algorithm's default config.
+  AlgorithmConfig config_overrides;
+  /// Input PageRank values for algorithms with requires_rank_input;
+  /// empty means "compute them with a fixed-iteration PageRank first".
+  std::vector<double> input_ranks;
+};
+
+/// Output of a type-erased run.
+struct AlgorithmRunResult {
+  bsp::RunStats stats;
+  /// PageRank output when the algorithm produces ranks (used to feed
+  /// top-k sample runs); empty otherwise.
+  std::vector<double> ranks;
+};
+
+/// Signature of a registered algorithm entry point.
+using AlgorithmRunner = std::function<Result<AlgorithmRunResult>(
+    const Graph& graph, const RunOptions& options)>;
+
+/// Looks up an algorithm spec by name; NotFound if unregistered.
+Result<AlgorithmSpec> FindAlgorithmSpec(const std::string& name);
+
+/// Runs a registered algorithm by name.
+Result<AlgorithmRunResult> RunAlgorithmByName(const std::string& name,
+                                              const Graph& graph,
+                                              const RunOptions& options);
+
+/// Names of all registered algorithms, sorted.
+std::vector<std::string> RegisteredAlgorithmNames();
+
+/// Registers a user-defined algorithm. Fails if the name is taken.
+Status RegisterAlgorithm(const AlgorithmSpec& spec, AlgorithmRunner runner);
+
+}  // namespace predict
+
+#endif  // PREDICT_ALGORITHMS_RUNNER_H_

@@ -1,0 +1,239 @@
+#include "algorithms/semiclustering.h"
+
+#include <algorithm>
+
+#include "graph/transforms.h"
+
+namespace predict {
+
+namespace {
+
+// Deterministic candidate ordering: score descending, then member list
+// lexicographic (clusters are value types; no pointer identity involved).
+struct ClusterOrder {
+  double boundary_factor;
+  bool operator()(const SemiCluster& a, const SemiCluster& b) const {
+    const double sa = a.Score(boundary_factor);
+    const double sb = b.Score(boundary_factor);
+    if (sa != sb) return sa > sb;
+    return a.members < b.members;
+  }
+};
+
+// Sorted snapshot of a vertex's incident edges, built once per Compute
+// call so that extending a cluster costs O(v_max * log deg) instead of
+// O(deg) per candidate (hubs receive thousands of candidates).
+class IncidentEdges {
+ public:
+  explicit IncidentEdges(
+      const bsp::VertexContext<SemiClusterValue, SemiClusterMessage>& ctx) {
+    const auto neighbors = ctx.out_neighbors();
+    const bool weighted = ctx.graph_is_weighted();
+    const auto weights =
+        weighted ? ctx.out_weights() : std::span<const float>{};
+    adjacency_.reserve(neighbors.size());
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const float w = weighted ? weights[i] : 1.0f;
+      adjacency_.emplace_back(neighbors[i], w);
+      total_weight_ += w;
+    }
+    std::sort(adjacency_.begin(), adjacency_.end());
+  }
+
+  double total_weight() const { return total_weight_; }
+
+  // Total edge weight from this vertex to `members`.
+  double WeightTo(const std::vector<VertexId>& members) const {
+    double sum = 0.0;
+    for (const VertexId m : members) {
+      auto it = std::lower_bound(
+          adjacency_.begin(), adjacency_.end(), m,
+          [](const auto& entry, VertexId v) { return entry.first < v; });
+      while (it != adjacency_.end() && it->first == m) {
+        sum += it->second;
+        ++it;
+      }
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<std::pair<VertexId, float>> adjacency_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace
+
+bool SemiCluster::ContainsVertex(VertexId v) const {
+  return std::binary_search(members.begin(), members.end(), v);
+}
+
+double SemiCluster::Score(double boundary_factor) const {
+  const double vc = static_cast<double>(members.size());
+  const double denom = std::max(1.0, vc * (vc - 1.0) / 2.0);
+  return (internal_weight - boundary_factor * boundary_weight) / denom;
+}
+
+const AlgorithmSpec& SemiClusteringSpec() {
+  static const AlgorithmSpec spec = [] {
+    AlgorithmSpec s;
+    s.name = "semiclustering";
+    s.convergence = ConvergenceKind::kRelativeRatio;
+    s.default_config = {{"f_b", 0.1},  {"v_max", 10}, {"c_max", 1},
+                        {"s_max", 1},  {"tau", 0.001}};
+    s.requires_undirected = true;
+    s.convergence_keys = {"tau"};
+    return s;
+  }();
+  return spec;
+}
+
+SemiClusteringProgram::SemiClusteringProgram(const AlgorithmConfig& config) {
+  boundary_factor_ = config.at("f_b");
+  v_max_ = static_cast<size_t>(config.at("v_max"));
+  c_max_ = static_cast<size_t>(config.at("c_max"));
+  s_max_ = static_cast<size_t>(config.at("s_max"));
+  tau_ = config.at("tau");
+}
+
+void SemiClusteringProgram::RegisterAggregators(
+    bsp::AggregatorRegistry* registry) {
+  updated_agg_ = registry->Register(kUpdatedAggregate, bsp::AggregatorOp::kSum);
+  total_agg_ = registry->Register(kTotalAggregate, bsp::AggregatorOp::kSum);
+}
+
+SemiClusterValue SemiClusteringProgram::InitialValue(VertexId v,
+                                                     const Graph& graph) const {
+  // The singleton cluster {v}: no internal edges; every incident edge is
+  // a boundary edge.
+  SemiCluster cluster;
+  cluster.members = {v};
+  cluster.internal_weight = 0.0;
+  double boundary = 0.0;
+  const auto neighbors = graph.out_neighbors(v);
+  if (graph.is_weighted()) {
+    for (const float w : graph.out_weights(v)) boundary += w;
+  } else {
+    boundary = static_cast<double>(neighbors.size());
+  }
+  cluster.boundary_weight = boundary;
+  return {{std::move(cluster)}};
+}
+
+void SemiClusteringProgram::Compute(
+    bsp::VertexContext<SemiClusterValue, SemiClusterMessage>* ctx,
+    std::span<const SemiClusterMessage> messages) {
+  const VertexId self = ctx->id();
+  std::vector<SemiCluster>& own = ctx->value().clusters;
+  const ClusterOrder order{boundary_factor_};
+
+  if (ctx->superstep() == 0) {
+    // Send the singleton cluster to all neighbors.
+    ctx->Aggregate(total_agg_, static_cast<double>(own.size()));
+    if (ctx->out_degree() > 0) {
+      ctx->SendMessageToAllNeighbors(SemiClusterMessage{
+          std::make_shared<const std::vector<SemiCluster>>(own)});
+    }
+    return;
+  }
+
+  // Candidates for forwarding: every received cluster plus the extension
+  // of each one by this vertex (when legal).
+  const IncidentEdges incident(*ctx);
+  std::vector<SemiCluster> candidates;
+  for (const SemiClusterMessage& msg : messages) {
+    for (const SemiCluster& cluster : *msg.clusters) {
+      candidates.push_back(cluster);
+      if (!cluster.ContainsVertex(self) && cluster.members.size() < v_max_) {
+        const double to_members = incident.WeightTo(cluster.members);
+        const double total = incident.total_weight();
+        SemiCluster extended = cluster;
+        extended.members.insert(
+            std::lower_bound(extended.members.begin(), extended.members.end(),
+                             self),
+            self);
+        // Edges from this vertex to members become internal; members'
+        // boundary edges towards this vertex stop being boundary; this
+        // vertex's other incident edges become new boundary edges.
+        extended.internal_weight += to_members;
+        extended.boundary_weight += (total - to_members) - to_members;
+        candidates.push_back(std::move(extended));
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(), order);
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Forward the s_max best known clusters.
+  if (!candidates.empty() && ctx->out_degree() > 0) {
+    auto forwarded = std::make_shared<std::vector<SemiCluster>>(
+        candidates.begin(),
+        candidates.begin() + std::min(s_max_, candidates.size()));
+    ctx->SendMessageToAllNeighbors(SemiClusterMessage{std::move(forwarded)});
+  }
+
+  // Update this vertex's list of c_max best clusters containing itself.
+  std::vector<SemiCluster> containing = own;
+  for (const SemiCluster& cluster : candidates) {
+    if (cluster.ContainsVertex(self)) containing.push_back(cluster);
+  }
+  std::sort(containing.begin(), containing.end(), order);
+  containing.erase(std::unique(containing.begin(), containing.end()),
+                   containing.end());
+  if (containing.size() > c_max_) containing.resize(c_max_);
+
+  // A cluster counts as updated if it was not in the previous list.
+  uint64_t updated = 0;
+  for (const SemiCluster& cluster : containing) {
+    if (std::find(own.begin(), own.end(), cluster) == own.end()) ++updated;
+  }
+  ctx->Aggregate(updated_agg_, static_cast<double>(updated));
+  ctx->Aggregate(total_agg_, static_cast<double>(containing.size()));
+  own = std::move(containing);
+  // Vertices stay active; the master's update-ratio check stops the run.
+}
+
+void SemiClusteringProgram::MasterCompute(bsp::MasterContext* ctx) {
+  if (ctx->superstep() == 0) return;
+  const double total = ctx->GetAggregate(total_agg_);
+  if (total <= 0.0) return;
+  const double ratio = ctx->GetAggregate(updated_agg_) / total;
+  if (ratio < tau_) ctx->HaltComputation();
+}
+
+uint64_t SemiClusteringProgram::MessageBytes(
+    const SemiClusterMessage& message) const {
+  uint64_t bytes = 8;
+  for (const SemiCluster& cluster : *message.clusters) {
+    bytes += 24 + 4 * cluster.members.size();
+  }
+  return bytes;
+}
+
+uint64_t SemiClusteringProgram::VertexStateBytes(
+    const SemiClusterValue& value) const {
+  uint64_t bytes = 16;
+  for (const SemiCluster& cluster : value.clusters) {
+    bytes += 24 + 4 * cluster.members.size();
+  }
+  return bytes;
+}
+
+Result<SemiClusteringResult> RunSemiClustering(
+    const Graph& graph, const AlgorithmConfig& overrides,
+    const bsp::EngineOptions& engine_options) {
+  PREDICT_ASSIGN_OR_RETURN(AlgorithmConfig config,
+                           ResolveConfig(SemiClusteringSpec(), overrides));
+  PREDICT_ASSIGN_OR_RETURN(Graph undirected, ToUndirected(graph));
+  SemiClusteringProgram program(config);
+  bsp::Engine<SemiClusterValue, SemiClusterMessage> engine(engine_options);
+  PREDICT_ASSIGN_OR_RETURN(bsp::RunStats stats, engine.Run(undirected, &program));
+  SemiClusteringResult result;
+  result.stats = std::move(stats);
+  result.clusters = std::move(engine.mutable_vertex_values());
+  return result;
+}
+
+}  // namespace predict

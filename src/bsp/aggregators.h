@@ -1,0 +1,76 @@
+// Named global aggregators, mirroring Giraph/Pregel aggregators.
+//
+// A vertex contributes values during superstep S; the reduced value is
+// visible to vertices and to the master compute hook from superstep S+1
+// on (and to master.compute immediately after S completes). Every
+// convergence condition in the paper's algorithms — average PageRank
+// delta, semi-cluster update ratio, top-k active ratio — is an aggregate
+// at the graph level (§3.5) computed through this mechanism.
+
+#ifndef PREDICT_BSP_AGGREGATORS_H_
+#define PREDICT_BSP_AGGREGATORS_H_
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace predict::bsp {
+
+/// Reduction operator of an aggregator.
+enum class AggregatorOp { kSum, kMin, kMax };
+
+/// Handle returned by Register; O(1) contribution at compute time.
+using AggregatorId = uint32_t;
+
+/// Definition of one aggregator.
+struct AggregatorDef {
+  std::string name;
+  AggregatorOp op = AggregatorOp::kSum;
+};
+
+/// Identity element of an op.
+inline double AggregatorIdentity(AggregatorOp op) {
+  switch (op) {
+    case AggregatorOp::kSum:
+      return 0.0;
+    case AggregatorOp::kMin:
+      return std::numeric_limits<double>::infinity();
+    case AggregatorOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+inline double AggregatorReduce(AggregatorOp op, double a, double b) {
+  switch (op) {
+    case AggregatorOp::kSum:
+      return a + b;
+    case AggregatorOp::kMin:
+      return std::min(a, b);
+    case AggregatorOp::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+/// \brief Registry a VertexProgram fills in RegisterAggregators().
+class AggregatorRegistry {
+ public:
+  /// Registers an aggregator and returns its handle.
+  AggregatorId Register(std::string name, AggregatorOp op) {
+    defs_.push_back({std::move(name), op});
+    return static_cast<AggregatorId>(defs_.size() - 1);
+  }
+
+  const std::vector<AggregatorDef>& defs() const { return defs_; }
+  size_t size() const { return defs_.size(); }
+
+ private:
+  std::vector<AggregatorDef> defs_;
+};
+
+}  // namespace predict::bsp
+
+#endif  // PREDICT_BSP_AGGREGATORS_H_

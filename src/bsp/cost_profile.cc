@@ -1,0 +1,58 @@
+#include "bsp/cost_profile.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace predict::bsp {
+
+double CostProfile::WorkerSeconds(const WorkerCounters& c) const {
+  return per_active_vertex_seconds * static_cast<double>(c.active_vertices) +
+         per_local_message_seconds * static_cast<double>(c.local_messages) +
+         per_remote_message_seconds * static_cast<double>(c.remote_messages) +
+         per_local_byte_seconds * static_cast<double>(c.local_message_bytes) +
+         per_remote_byte_seconds * static_cast<double>(c.remote_message_bytes);
+}
+
+double CostProfile::NoiseFactor(int superstep, WorkerId worker) const {
+  if (noise_sigma <= 0.0) return 1.0;
+  // Two independent uniforms -> one gaussian via Box-Muller, all derived
+  // from a stateless hash so the factor depends only on (superstep, worker).
+  const double u1 = Rng::HashToUnitDouble(noise_seed, superstep + 1, worker + 1);
+  const double u2 =
+      Rng::HashToUnitDouble(noise_seed ^ 0xABCDEF1234567890ULL, superstep + 1,
+                            worker + 1);
+  const double safe_u1 = u1 <= 0.0 ? 0x1.0p-53 : u1;
+  const double gaussian =
+      std::sqrt(-2.0 * std::log(safe_u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(noise_sigma * gaussian);
+}
+
+double CostProfile::SuperstepSeconds(std::span<const WorkerCounters> workers,
+                                     int superstep,
+                                     WorkerId* critical_worker) const {
+  double max_cost = 0.0;
+  WorkerId argmax = 0;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    const double cost = WorkerSeconds(workers[w]) *
+                        NoiseFactor(superstep, static_cast<WorkerId>(w));
+    if (cost > max_cost) {
+      max_cost = cost;
+      argmax = static_cast<WorkerId>(w);
+    }
+  }
+  if (critical_worker != nullptr) *critical_worker = argmax;
+  return max_cost + barrier_seconds;
+}
+
+double CostProfile::ReadSeconds(uint64_t graph_bytes) const {
+  if (read_bytes_per_second <= 0.0) return 0.0;
+  return static_cast<double>(graph_bytes) / read_bytes_per_second;
+}
+
+double CostProfile::WriteSeconds(uint64_t output_bytes) const {
+  if (write_bytes_per_second <= 0.0) return 0.0;
+  return static_cast<double>(output_bytes) / write_bytes_per_second;
+}
+
+}  // namespace predict::bsp

@@ -1,0 +1,83 @@
+// The simulated cost clock.
+//
+// The paper measures wall-clock superstep times on a 10-node Giraph
+// cluster. This repo has no cluster, so superstep runtime is *generated*
+// by a cost model the prediction machinery is NOT allowed to see: the
+// regression in core/cost_model.h must recover these factors from noisy
+// per-worker observations, exactly as the paper's cost model must learn
+// Giraph's cost factors from profiled runs.
+//
+// The generative model implements the paper's modeling assumptions
+// (§3.1, §3.3): superstep time is determined by the critical-path worker;
+// each worker's time is (approximately) linear in its Table-1 counters,
+// with distinct local and remote message/byte costs; a fixed barrier
+// overhead is added per superstep; multiplicative log-normal noise makes
+// the observations realistic.
+
+#ifndef PREDICT_BSP_COST_PROFILE_H_
+#define PREDICT_BSP_COST_PROFILE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "bsp/counters.h"
+
+namespace predict::bsp {
+
+/// Cost factors of the simulated cluster. Defaults are calibrated to
+/// Giraph-era hardware (1 Gbps network, Hadoop barrier overheads) scaled
+/// to the synthetic dataset sizes used in the benches.
+struct CostProfile {
+  /// Per-vertex cost of executing the user compute function (network-
+  /// intensive algorithms: short, roughly constant per vertex — §3.3).
+  double per_active_vertex_seconds = 2e-6;
+
+  /// Message initiation costs (sender side).
+  double per_local_message_seconds = 6e-6;
+  double per_remote_message_seconds = 2.4e-5;
+
+  /// Byte transfer costs. Remote ~ serialized network transfer; local ~
+  /// in-memory handoff, an order of magnitude cheaper. Calibrated so the
+  /// superstep phase dominates full-dataset runs (as on the paper's
+  /// cluster, where the stand-in datasets would be 50-100x larger) while
+  /// sample runs stay overhead-dominated — the Table-3 shape.
+  double per_local_byte_seconds = 2e-7;
+  double per_remote_byte_seconds = 2e-6;
+
+  /// Synchronization barrier + master coordination per superstep. This is
+  /// what the regression's residual term r mostly absorbs.
+  double barrier_seconds = 0.25;
+
+  /// One-off phases (§2.2): Hadoop job setup, HDFS read of the input
+  /// partition, and writing the output graph back.
+  double setup_seconds = 5.0;
+  double read_bytes_per_second = 3e6;
+  double write_bytes_per_second = 6e6;
+
+  /// Multiplicative log-normal noise, sigma in log space. 0 disables.
+  double noise_sigma = 0.03;
+  uint64_t noise_seed = 0x5EEDCAFEULL;
+
+  /// Deterministic noiseless cost of one worker's superstep.
+  double WorkerSeconds(const WorkerCounters& counters) const;
+
+  /// Noise factor for (superstep, worker); deterministic in the seed.
+  double NoiseFactor(int superstep, WorkerId worker) const;
+
+  /// Simulated runtime of a superstep: max over workers of noisy worker
+  /// cost, plus the barrier. Writes the argmax into `critical_worker` if
+  /// non-null.
+  double SuperstepSeconds(std::span<const WorkerCounters> workers,
+                          int superstep,
+                          WorkerId* critical_worker = nullptr) const;
+
+  /// Simulated duration of the read phase for an input of `graph_bytes`.
+  double ReadSeconds(uint64_t graph_bytes) const;
+
+  /// Simulated duration of the write phase for `output_bytes` of output.
+  double WriteSeconds(uint64_t output_bytes) const;
+};
+
+}  // namespace predict::bsp
+
+#endif  // PREDICT_BSP_COST_PROFILE_H_

@@ -1,0 +1,50 @@
+#include "bsp/counters.h"
+
+#include <algorithm>
+
+namespace predict::bsp {
+
+WorkerCounters& WorkerCounters::operator+=(const WorkerCounters& other) {
+  active_vertices += other.active_vertices;
+  total_vertices += other.total_vertices;
+  local_messages += other.local_messages;
+  remote_messages += other.remote_messages;
+  local_message_bytes += other.local_message_bytes;
+  remote_message_bytes += other.remote_message_bytes;
+  return *this;
+}
+
+WorkerCounters SuperstepStats::Totals() const {
+  WorkerCounters totals;
+  for (const WorkerCounters& w : per_worker) totals += w;
+  return totals;
+}
+
+const char* HaltReasonName(HaltReason reason) {
+  switch (reason) {
+    case HaltReason::kConverged:
+      return "converged";
+    case HaltReason::kMasterHalt:
+      return "master_halt";
+    case HaltReason::kMaxSupersteps:
+      return "max_supersteps";
+  }
+  return "unknown";
+}
+
+std::vector<uint64_t> PerWorkerOutboundEdges(const Graph& graph,
+                                             uint32_t num_workers) {
+  std::vector<uint64_t> edges(num_workers, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    edges[v % num_workers] += graph.out_degree(v);
+  }
+  return edges;
+}
+
+WorkerId ArgMaxWorker(const std::vector<uint64_t>& values) {
+  if (values.empty()) return 0;
+  return static_cast<WorkerId>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace predict::bsp

@@ -1,0 +1,112 @@
+// Per-worker, per-superstep execution counters.
+//
+// These are the "key input features" of Table 1 in the paper: PREDIcT's
+// whole methodology consumes nothing from the execution engine except
+// these counters (profiled per worker per iteration) and the per-
+// superstep runtime. The engine's instrumented code path fills them,
+// mirroring the paper's instrumentation of each BSP worker (§3.4,
+// "Training Methodology").
+
+#ifndef PREDICT_BSP_COUNTERS_H_
+#define PREDICT_BSP_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace predict::bsp {
+
+/// Worker index within a BSP job.
+using WorkerId = uint32_t;
+
+/// Counters for one worker during one superstep (Table 1 of the paper).
+struct WorkerCounters {
+  uint64_t active_vertices = 0;      ///< ActVert: vertices that ran Compute
+  uint64_t total_vertices = 0;       ///< TotVert: vertices assigned to worker
+  uint64_t local_messages = 0;       ///< LocMsg: dest on the same worker
+  uint64_t remote_messages = 0;      ///< RemMsg: dest on another worker
+  uint64_t local_message_bytes = 0;  ///< LocMsgSize
+  uint64_t remote_message_bytes = 0; ///< RemMsgSize
+
+  uint64_t total_messages() const { return local_messages + remote_messages; }
+  uint64_t total_message_bytes() const {
+    return local_message_bytes + remote_message_bytes;
+  }
+  /// AvgMsgSize of Table 1 (not extrapolated).
+  double average_message_size() const {
+    const uint64_t msgs = total_messages();
+    return msgs == 0 ? 0.0
+                     : static_cast<double>(total_message_bytes()) /
+                           static_cast<double>(msgs);
+  }
+
+  WorkerCounters& operator+=(const WorkerCounters& other);
+};
+
+/// Everything recorded about one superstep of a run.
+struct SuperstepStats {
+  int superstep = 0;
+  std::vector<WorkerCounters> per_worker;
+  /// Simulated runtime of this superstep (critical-path worker + barrier).
+  double simulated_seconds = 0.0;
+  /// Worker with the largest simulated cost this superstep.
+  WorkerId critical_worker = 0;
+  /// Aggregator values reduced at the end of this superstep.
+  std::map<std::string, double> aggregates;
+  /// Simulated memory in use at the superstep barrier (state + buffers).
+  uint64_t memory_bytes = 0;
+
+  /// Sum of the per-worker counters.
+  WorkerCounters Totals() const;
+};
+
+/// Why a run stopped.
+enum class HaltReason {
+  kConverged,      ///< all vertices halted and no messages in flight
+  kMasterHalt,     ///< the algorithm's master.compute() stopped the job
+  kMaxSupersteps,  ///< hit EngineOptions::max_supersteps
+};
+
+const char* HaltReasonName(HaltReason reason);
+
+/// Full profile of one BSP run: per-superstep stats plus the phase
+/// breakdown of §2.2 (setup / read / superstep / write).
+struct RunStats {
+  std::vector<SuperstepStats> supersteps;
+
+  double setup_seconds = 0.0;
+  double read_seconds = 0.0;
+  double superstep_phase_seconds = 0.0;  ///< sum over supersteps
+  double write_seconds = 0.0;
+  /// setup + read + superstep phase + write.
+  double total_seconds = 0.0;
+
+  /// Host wall-clock time actually spent executing the simulation.
+  double wall_seconds = 0.0;
+
+  uint64_t peak_memory_bytes = 0;
+  HaltReason halt_reason = HaltReason::kConverged;
+
+  /// The worker that §3.4 designates as the critical path: the one with
+  /// the most outbound edges under the static partitioning. Computable
+  /// before the superstep phase starts ("piggybacked in the read phase").
+  WorkerId static_critical_worker = 0;
+  std::vector<uint64_t> worker_outbound_edges;
+
+  int num_supersteps() const { return static_cast<int>(supersteps.size()); }
+};
+
+/// Outbound-edge totals per worker for a vertex-hash partitioning; the
+/// basis of the paper's critical-path identification.
+std::vector<uint64_t> PerWorkerOutboundEdges(const Graph& graph,
+                                             uint32_t num_workers);
+
+/// Index of the max element (first one on ties).
+WorkerId ArgMaxWorker(const std::vector<uint64_t>& values);
+
+}  // namespace predict::bsp
+
+#endif  // PREDICT_BSP_COUNTERS_H_

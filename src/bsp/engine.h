@@ -1,0 +1,430 @@
+// The BSP execution engine (the repo's Giraph stand-in).
+//
+// Executes a VertexProgram over a Graph in supersteps with Pregel
+// semantics: messages sent in superstep S are delivered in S+1, vertices
+// vote to halt and are reactivated by incoming messages, aggregators
+// reduce per superstep, and a master hook can stop the job. Workers are
+// simulated: vertices are hash-partitioned across `num_workers` logical
+// workers whose Table-1 counters drive the simulated cost clock
+// (bsp/cost_profile.h) and the simulated memory model.
+//
+// Host threads only accelerate the simulation — simulated time, counters
+// and results are bit-identical for any thread count.
+
+#ifndef PREDICT_BSP_ENGINE_H_
+#define PREDICT_BSP_ENGINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bsp/aggregators.h"
+#include "bsp/cost_profile.h"
+#include "bsp/counters.h"
+#include "bsp/thread_pool.h"
+#include "bsp/vertex_program.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace predict::bsp {
+
+/// Configuration of one BSP job. Matches the paper's assumption (iii)
+/// that sample runs and actual runs share the execution framework and
+/// system configuration: PREDIcT passes the same EngineOptions to both.
+struct EngineOptions {
+  /// Simulated workers. The paper's cluster runs 29 workers + 1 master.
+  uint32_t num_workers = 29;
+
+  /// Host threads executing the simulation. -1 = one per hardware thread,
+  /// 0 = run inline on the caller.
+  int num_threads = -1;
+
+  /// Safety stop; hitting it sets HaltReason::kMaxSupersteps.
+  int max_supersteps = 500;
+
+  /// Simulated cluster memory. 0 = unlimited. When the per-superstep
+  /// footprint (graph + vertex state + buffered messages) exceeds this,
+  /// the run fails with ResourceExhausted — Giraph's no-spill OOM
+  /// behaviour described in §5 "Memory Limits".
+  uint64_t memory_budget_bytes = 0;
+
+  CostProfile cost_profile;
+};
+
+/// Bytes of bookkeeping the memory model charges per buffered message
+/// (destination id, envelope, allocator slack).
+inline constexpr uint64_t kMessageEnvelopeBytes = 16;
+
+namespace internal {
+
+/// All mutable state of a run; VertexContext methods are defined against
+/// this so the hot path needs no virtual dispatch except the program's
+/// own hooks.
+template <typename V, typename M>
+class EngineState {
+ public:
+  EngineState(const Graph& graph, VertexProgram<V, M>* program,
+              const EngineOptions& options, ThreadPool* pool)
+      : graph_(&graph),
+        program_(program),
+        options_(options),
+        pool_(pool),
+        num_workers_(options.num_workers) {}
+
+  Result<RunStats> Run();
+
+  std::vector<V>& values() { return values_; }
+
+ private:
+  friend class VertexContext<V, M>;
+
+  struct OutMessage {
+    VertexId target;
+    M payload;
+  };
+
+  WorkerId WorkerOf(VertexId v) const { return v % num_workers_; }
+
+  void ComputeWorker(WorkerId w);
+  void DeliverToWorker(WorkerId w);
+  uint64_t StateBytesOfWorker(WorkerId w) const;
+
+  const Graph* graph_;
+  VertexProgram<V, M>* program_;
+  EngineOptions options_;
+  ThreadPool* pool_;
+  uint32_t num_workers_;
+
+  int superstep_ = 0;
+  std::vector<V> values_;
+  std::vector<uint8_t> active_;
+  std::vector<std::vector<M>> inbox_cur_;
+  std::vector<std::vector<M>> inbox_next_;
+  std::vector<std::vector<OutMessage>> outbox_;  // [sender * W + dest]
+  std::vector<WorkerCounters> counters_;
+
+  std::vector<AggregatorOp> agg_ops_;
+  std::vector<std::string> agg_names_;
+  std::vector<std::vector<double>> agg_partial_;  // [worker][aggregator]
+  std::vector<double> agg_prev_;
+  std::vector<double> agg_reduced_;
+};
+
+template <typename V, typename M>
+void EngineState<V, M>::ComputeWorker(WorkerId w) {
+  const uint64_t n = graph_->num_vertices();
+  WorkerCounters& counters = counters_[w];
+  for (uint64_t v = w; v < n; v += num_workers_) {
+    const VertexId vid = static_cast<VertexId>(v);
+    std::vector<M>& inbox = inbox_cur_[vid];
+    if (!active_[vid] && inbox.empty()) continue;
+    active_[vid] = 1;  // receipt of a message reactivates (Pregel rule)
+    counters.active_vertices++;
+    VertexContext<V, M> ctx(this, w, vid);
+    program_->Compute(&ctx, std::span<const M>(inbox.data(), inbox.size()));
+    // Release the mailbox eagerly; transient early-superstep bursts (e.g.
+    // connected components) would otherwise pin capacity for the whole run.
+    std::vector<M>().swap(inbox);
+  }
+}
+
+template <typename V, typename M>
+void EngineState<V, M>::DeliverToWorker(WorkerId w) {
+  for (WorkerId sender = 0; sender < num_workers_; ++sender) {
+    std::vector<OutMessage>& box = outbox_[sender * num_workers_ + w];
+    for (OutMessage& out : box) {
+      inbox_next_[out.target].push_back(std::move(out.payload));
+    }
+    box.clear();
+  }
+}
+
+template <typename V, typename M>
+uint64_t EngineState<V, M>::StateBytesOfWorker(WorkerId w) const {
+  const uint64_t n = graph_->num_vertices();
+  uint64_t bytes = 0;
+  for (uint64_t v = w; v < n; v += num_workers_) {
+    bytes += program_->VertexStateBytes(values_[v]);
+  }
+  return bytes;
+}
+
+template <typename V, typename M>
+Result<RunStats> EngineState<V, M>::Run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t n = graph_->num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (num_workers_ == 0) return Status::InvalidArgument("num_workers == 0");
+  if (options_.max_supersteps <= 0) {
+    return Status::InvalidArgument("max_supersteps must be positive");
+  }
+
+  RunStats stats;
+  stats.worker_outbound_edges = PerWorkerOutboundEdges(*graph_, num_workers_);
+  stats.static_critical_worker = ArgMaxWorker(stats.worker_outbound_edges);
+  stats.setup_seconds = options_.cost_profile.setup_seconds;
+  stats.read_seconds =
+      options_.cost_profile.ReadSeconds(graph_->MemoryFootprintBytes());
+
+  // Aggregators.
+  AggregatorRegistry registry;
+  program_->RegisterAggregators(&registry);
+  for (const AggregatorDef& def : registry.defs()) {
+    agg_ops_.push_back(def.op);
+    agg_names_.push_back(def.name);
+  }
+  agg_prev_.resize(agg_ops_.size());
+  agg_reduced_.resize(agg_ops_.size());
+  for (size_t i = 0; i < agg_ops_.size(); ++i) {
+    agg_prev_[i] = AggregatorIdentity(agg_ops_[i]);
+  }
+
+  // State initialization ("setup" + "read" phases of §2.2).
+  values_.resize(n);
+  active_.assign(n, 1);
+  inbox_cur_.resize(n);
+  inbox_next_.resize(n);
+  outbox_.resize(static_cast<size_t>(num_workers_) * num_workers_);
+  counters_.assign(num_workers_, WorkerCounters{});
+  agg_partial_.assign(num_workers_, {});
+  pool_->ParallelFor(num_workers_, [&](uint64_t w) {
+    for (uint64_t v = w; v < n; v += num_workers_) {
+      values_[v] = program_->InitialValue(static_cast<VertexId>(v), *graph_);
+    }
+  });
+
+  const uint64_t graph_bytes = graph_->MemoryFootprintBytes();
+  HaltReason halt_reason = HaltReason::kMaxSupersteps;
+
+  for (superstep_ = 0; superstep_ < options_.max_supersteps; ++superstep_) {
+    // Reset per-superstep accounting.
+    for (WorkerId w = 0; w < num_workers_; ++w) {
+      counters_[w] = WorkerCounters{};
+      counters_[w].total_vertices = n / num_workers_ + (w < n % num_workers_);
+      agg_partial_[w].assign(agg_ops_.size(), 0.0);
+      for (size_t i = 0; i < agg_ops_.size(); ++i) {
+        agg_partial_[w][i] = AggregatorIdentity(agg_ops_[i]);
+      }
+    }
+
+    // Compute phase (concurrent across workers).
+    pool_->ParallelFor(num_workers_,
+                       [&](uint64_t w) { ComputeWorker(static_cast<WorkerId>(w)); });
+
+    // Reduce aggregators deterministically in worker order.
+    for (size_t i = 0; i < agg_ops_.size(); ++i) {
+      double value = AggregatorIdentity(agg_ops_[i]);
+      for (WorkerId w = 0; w < num_workers_; ++w) {
+        value = AggregatorReduce(agg_ops_[i], value, agg_partial_[w][i]);
+      }
+      agg_reduced_[i] = value;
+    }
+
+    // Messaging phase: deliver into next-superstep mailboxes.
+    pool_->ParallelFor(num_workers_,
+                       [&](uint64_t w) { DeliverToWorker(static_cast<WorkerId>(w)); });
+
+    // Superstep accounting.
+    SuperstepStats step;
+    step.superstep = superstep_;
+    step.per_worker = counters_;
+    step.simulated_seconds = options_.cost_profile.SuperstepSeconds(
+        counters_, superstep_, &step.critical_worker);
+    for (size_t i = 0; i < agg_names_.size(); ++i) {
+      step.aggregates[agg_names_[i]] = agg_reduced_[i];
+    }
+
+    // Memory model: graph + vertex state + messages buffered for the next
+    // superstep (payload + envelope).
+    uint64_t state_bytes = 0;
+    {
+      std::vector<uint64_t> per_worker_state(num_workers_, 0);
+      pool_->ParallelFor(num_workers_, [&](uint64_t w) {
+        per_worker_state[w] = StateBytesOfWorker(static_cast<WorkerId>(w));
+      });
+      for (const uint64_t b : per_worker_state) state_bytes += b;
+    }
+    const WorkerCounters totals = step.Totals();
+    const uint64_t message_bytes =
+        totals.total_message_bytes() +
+        totals.total_messages() * kMessageEnvelopeBytes;
+    step.memory_bytes = graph_bytes + state_bytes + message_bytes;
+    stats.peak_memory_bytes = std::max(stats.peak_memory_bytes, step.memory_bytes);
+
+    stats.superstep_phase_seconds += step.simulated_seconds;
+    stats.supersteps.push_back(std::move(step));
+
+    if (options_.memory_budget_bytes != 0 &&
+        stats.peak_memory_bytes > options_.memory_budget_bytes) {
+      return Status::ResourceExhausted(
+          "superstep " + std::to_string(superstep_) + ": simulated memory " +
+          std::to_string(stats.peak_memory_bytes) + " bytes exceeds budget " +
+          std::to_string(options_.memory_budget_bytes) +
+          " bytes (Giraph cannot spill messages to disk)");
+    }
+
+    // Master compute + halting checks.
+    uint64_t active_count = 0;
+    for (uint64_t v = 0; v < n; ++v) active_count += active_[v];
+
+    MasterContext master(superstep_, n, agg_reduced_, active_count,
+                         totals.total_messages());
+    program_->MasterCompute(&master);
+    if (master.halt_requested()) {
+      halt_reason = HaltReason::kMasterHalt;
+      break;
+    }
+    if (active_count == 0 && totals.total_messages() == 0) {
+      halt_reason = HaltReason::kConverged;
+      break;
+    }
+
+    std::swap(inbox_cur_, inbox_next_);
+    agg_prev_ = agg_reduced_;
+  }
+
+  stats.halt_reason = halt_reason;
+
+  // Write phase: the output graph (vertex states) goes back to HDFS.
+  uint64_t out_bytes = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    out_bytes += program_->VertexStateBytes(values_[v]);
+  }
+  stats.write_seconds = options_.cost_profile.WriteSeconds(out_bytes);
+  stats.total_seconds = stats.setup_seconds + stats.read_seconds +
+                        stats.superstep_phase_seconds + stats.write_seconds;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return stats;
+}
+
+}  // namespace internal
+
+/// \brief Runs a VertexProgram over a Graph and returns the run profile.
+///
+/// The engine owns the final vertex values after Run(); fetch them with
+/// vertex_values(). A fresh Engine should be used per run.
+template <typename V, typename M>
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(std::move(options)) {
+    int threads = options_.num_threads;
+    if (threads < 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads < 1) threads = 1;
+      threads -= 1;  // the ParallelFor caller participates
+    }
+    pool_ = std::make_unique<ThreadPool>(static_cast<uint32_t>(threads));
+  }
+
+  /// Executes the program to completion (or OOM / max supersteps).
+  Result<RunStats> Run(const Graph& graph, VertexProgram<V, M>* program) {
+    if (program == nullptr) return Status::InvalidArgument("null program");
+    internal::EngineState<V, M> state(graph, program, options_, pool_.get());
+    auto result = state.Run();
+    values_ = std::move(state.values());
+    return result;
+  }
+
+  /// Final vertex values of the last Run (empty before any run).
+  const std::vector<V>& vertex_values() const { return values_; }
+  std::vector<V>& mutable_vertex_values() { return values_; }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<V> values_;
+};
+
+// ---------------------------------------------------------------------------
+// VertexContext member definitions (need EngineState).
+
+template <typename V, typename M>
+inline int VertexContext<V, M>::superstep() const {
+  return engine_->superstep_;
+}
+
+template <typename V, typename M>
+inline uint64_t VertexContext<V, M>::num_vertices() const {
+  return engine_->graph_->num_vertices();
+}
+
+template <typename V, typename M>
+inline V& VertexContext<V, M>::value() {
+  return engine_->values_[id_];
+}
+
+template <typename V, typename M>
+inline const V& VertexContext<V, M>::value() const {
+  return engine_->values_[id_];
+}
+
+template <typename V, typename M>
+inline std::span<const VertexId> VertexContext<V, M>::out_neighbors() const {
+  return engine_->graph_->out_neighbors(id_);
+}
+
+template <typename V, typename M>
+inline std::span<const float> VertexContext<V, M>::out_weights() const {
+  return engine_->graph_->out_weights(id_);
+}
+
+template <typename V, typename M>
+inline uint64_t VertexContext<V, M>::out_degree() const {
+  return engine_->graph_->out_degree(id_);
+}
+
+template <typename V, typename M>
+inline bool VertexContext<V, M>::graph_is_weighted() const {
+  return engine_->graph_->is_weighted();
+}
+
+template <typename V, typename M>
+inline void VertexContext<V, M>::SendMessage(VertexId target, M message) {
+  auto* engine = engine_;
+  const WorkerId dest_worker = engine->WorkerOf(target);
+  const uint64_t bytes = engine->program_->MessageBytes(message);
+  WorkerCounters& counters = engine->counters_[worker_];
+  if (dest_worker == worker_) {
+    counters.local_messages++;
+    counters.local_message_bytes += bytes;
+  } else {
+    counters.remote_messages++;
+    counters.remote_message_bytes += bytes;
+  }
+  engine->outbox_[worker_ * engine->num_workers_ + dest_worker].push_back(
+      {target, std::move(message)});
+}
+
+template <typename V, typename M>
+inline void VertexContext<V, M>::SendMessageToAllNeighbors(const M& message) {
+  for (const VertexId target : out_neighbors()) {
+    SendMessage(target, message);
+  }
+}
+
+template <typename V, typename M>
+inline void VertexContext<V, M>::VoteToHalt() {
+  engine_->active_[id_] = 0;
+}
+
+template <typename V, typename M>
+inline void VertexContext<V, M>::Aggregate(AggregatorId id, double value) {
+  double& slot = engine_->agg_partial_[worker_][id];
+  slot = AggregatorReduce(engine_->agg_ops_[id], slot, value);
+}
+
+template <typename V, typename M>
+inline double VertexContext<V, M>::GetAggregate(AggregatorId id) const {
+  return engine_->agg_prev_[id];
+}
+
+}  // namespace predict::bsp
+
+#endif  // PREDICT_BSP_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "bsp/thread_pool.h"
+
+namespace predict::bsp {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(uint64_t count,
+                             const std::function<void(uint64_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    for (uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  current_fn_ = &fn;
+  next_index_ = 0;
+  total_count_ = count;
+  completed_ = 0;
+  ++generation_;
+  work_ready_.notify_all();
+
+  // The caller participates too.
+  while (true) {
+    const uint64_t i = next_index_;
+    if (i >= total_count_) break;
+    ++next_index_;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    ++completed_;
+  }
+  work_done_.wait(lock, [this] { return completed_ == total_count_; });
+  current_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return shutting_down_ ||
+             (current_fn_ != nullptr && generation_ != seen_generation);
+    });
+    if (shutting_down_) return;
+    seen_generation = generation_;
+    while (current_fn_ != nullptr) {
+      const uint64_t i = next_index_;
+      if (i >= total_count_) break;
+      ++next_index_;
+      const auto* fn = current_fn_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      ++completed_;
+      if (completed_ == total_count_) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace predict::bsp

@@ -1,0 +1,53 @@
+// A small persistent thread pool for parallel worker execution.
+//
+// The BSP engine runs simulated workers on host threads. Simulated time
+// comes from the cost clock, never from wall time, so results are
+// bit-identical for any thread count (including 0 = inline).
+
+#ifndef PREDICT_BSP_THREAD_POOL_H_
+#define PREDICT_BSP_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace predict::bsp {
+
+/// Fixed-size pool executing ParallelFor batches.
+class ThreadPool {
+ public:
+  /// `num_threads` of 0 means "run everything inline on the caller".
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invokes fn(i) for every i in [0, count), distributing indices across
+  /// the pool; blocks until all invocations complete. fn must be safe to
+  /// call concurrently for distinct i.
+  void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn);
+
+  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(uint64_t)>* current_fn_ = nullptr;
+  uint64_t next_index_ = 0;
+  uint64_t total_count_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t generation_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace predict::bsp
+
+#endif  // PREDICT_BSP_THREAD_POOL_H_

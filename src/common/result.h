@@ -1,0 +1,85 @@
+// Result<T>: Status-or-value, the return type of fallible factories.
+//
+// Mirrors arrow::Result / absl::StatusOr. A Result either holds a value of
+// type T or an error Status; it never holds both and never holds an OK
+// status without a value.
+
+#ifndef PREDICT_COMMON_RESULT_H_
+#define PREDICT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace predict {
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit, enables
+  /// `return Status::InvalidArgument(...)`). Must not be an OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the Result. Requires ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define PREDICT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).MoveValue();
+
+#define PREDICT_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define PREDICT_ASSIGN_OR_RETURN_NAME(a, b) PREDICT_ASSIGN_OR_RETURN_CAT(a, b)
+
+#define PREDICT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  PREDICT_ASSIGN_OR_RETURN_IMPL(             \
+      PREDICT_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace predict
+
+#endif  // PREDICT_COMMON_RESULT_H_

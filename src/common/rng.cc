@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace predict {
+
+namespace {
+
+inline uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// SplitMix64: expands a single seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const uint64_t r = Next64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Guard against log(0).
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected time, no O(n) shuffle needed.
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  // For dense k, a partial Fisher-Yates over an index array is faster and
+  // still O(n); Floyd suffices for both given our sizes.
+  std::vector<bool> seen;
+  if (k * 2 >= n) {
+    // Partial Fisher-Yates.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + Uniform(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  seen.assign(n, false);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (seen[t]) t = j;
+    seen[t] = true;
+    out.push_back(t);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the current state with the stream id; does not disturb *this.
+  uint64_t x = s_[0] ^ (stream_id * 0xD2B74407B1CE6E93ULL + 0x9E3779B97F4A7C15ULL);
+  return Rng(SplitMix64(x));
+}
+
+double Rng::HashToUnitDouble(uint64_t seed, uint64_t a, uint64_t b) {
+  uint64_t x = seed;
+  x ^= a * 0xFF51AFD7ED558CCDULL;
+  x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+  x ^= b * 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 29)) * 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 32;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace predict

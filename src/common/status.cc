@@ -1,0 +1,80 @@
+#include "common/status.h"
+
+namespace predict {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+Status::Status(StatusCode code, std::string message)
+    : code_(code), message_(std::move(message)) {}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::NotImplemented(std::string msg) {
+  return Status(StatusCode::kNotImplemented, std::move(msg));
+}
+Status Status::IOError(std::string msg) {
+  return Status(StatusCode::kIOError, std::move(msg));
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace predict

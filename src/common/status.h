@@ -1,0 +1,95 @@
+// Status: error-handling primitive used across all public PREDIcT APIs.
+//
+// Follows the RocksDB / Apache Arrow convention: functions that can fail
+// return a Status (or a Result<T>, see result.h) instead of throwing.
+// Exceptions never cross a public API boundary.
+
+#ifndef PREDICT_COMMON_STATUS_H_
+#define PREDICT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace predict {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,  ///< e.g. the simulated cluster ran out of memory
+  kFailedPrecondition = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+  kIOError = 9,
+};
+
+/// \brief Result of an operation that may fail.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message);
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status Internal(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status IOError(std::string msg);
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsFailedPrecondition() const { return code_ == StatusCode::kFailedPrecondition; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: negative ratio".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Returns `s` from the current function if it is an error.
+#define PREDICT_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::predict::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace predict
+
+#endif  // PREDICT_COMMON_STATUS_H_

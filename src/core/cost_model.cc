@@ -1,0 +1,73 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+namespace predict {
+
+namespace {
+
+std::vector<std::string> CandidateNames() {
+  std::vector<std::string> names;
+  names.reserve(kNumFeatures);
+  for (int i = 0; i < kNumFeatures; ++i) {
+    names.push_back(FeatureName(static_cast<Feature>(i)));
+  }
+  return names;
+}
+
+}  // namespace
+
+Result<CostModel> CostModel::Train(const std::vector<TrainingRow>& rows,
+                                   const CostModelOptions& options) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cost model needs at least one row");
+  }
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  x.reserve(rows.size());
+  y.reserve(rows.size());
+  for (const TrainingRow& row : rows) {
+    x.emplace_back(row.features.begin(), row.features.end());
+    y.push_back(row.runtime_seconds);
+  }
+
+  CostModel model;
+  if (options.use_feature_selection) {
+    PREDICT_ASSIGN_OR_RETURN(
+        model.model_, ForwardSelect(x, y, kNumFeatures, options.selection));
+  } else {
+    std::vector<int> all(kNumFeatures);
+    for (int i = 0; i < kNumFeatures; ++i) all[i] = i;
+    PREDICT_ASSIGN_OR_RETURN(model.model_,
+                             FitOls(x, y, all, options.selection.ridge));
+  }
+  return model;
+}
+
+double CostModel::PredictIterationSeconds(const FeatureVector& features) const {
+  const double y = model_.Predict(features.data(), features.size());
+  return std::max(0.0, y);
+}
+
+std::vector<double> CostModel::PredictProfile(const RunProfile& profile) const {
+  std::vector<double> seconds;
+  seconds.reserve(profile.iterations.size());
+  for (const IterationProfile& it : profile.iterations) {
+    seconds.push_back(PredictIterationSeconds(it.critical_features));
+  }
+  return seconds;
+}
+
+std::vector<Feature> CostModel::selected_features() const {
+  std::vector<Feature> features;
+  for (const int idx : model_.feature_indices) {
+    features.push_back(static_cast<Feature>(idx));
+  }
+  return features;
+}
+
+std::string CostModel::ToString() const {
+  return model_.ToString(CandidateNames());
+}
+
+}  // namespace predict

@@ -1,0 +1,59 @@
+// The customizable cost model (§3.4): translates extrapolated key input
+// features into per-iteration runtime.
+//
+// Wraps regression + forward selection over the Table-1 feature pool and
+// is trained on sample-run rows plus (optionally) historical actual
+// runs. Once trained, the model is reusable across datasets — the
+// paper's "Training Methodology": the underlying cost of sending a
+// message or running the compute function does not depend on which
+// dataset the algorithm processes.
+
+#ifndef PREDICT_CORE_COST_MODEL_H_
+#define PREDICT_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/features.h"
+#include "core/regression.h"
+
+namespace predict {
+
+/// Training options.
+struct CostModelOptions {
+  /// Off = use every Table-1 feature (ablation baseline).
+  bool use_feature_selection = true;
+  ForwardSelectionOptions selection;
+};
+
+/// \brief Trained per-iteration runtime model.
+class CostModel {
+ public:
+  /// Fits the model on (features -> superstep seconds) rows.
+  static Result<CostModel> Train(const std::vector<TrainingRow>& rows,
+                                 const CostModelOptions& options = {});
+
+  /// Predicted runtime of one iteration with the given (extrapolated)
+  /// critical-worker features. Clamped at >= 0.
+  double PredictIterationSeconds(const FeatureVector& features) const;
+
+  /// Predicted runtimes for every iteration of a profile, plus the total.
+  std::vector<double> PredictProfile(const RunProfile& profile) const;
+
+  double r_squared() const { return model_.r_squared; }
+  const LinearModel& model() const { return model_; }
+
+  /// The Table-1 features the forward selection kept.
+  std::vector<Feature> selected_features() const;
+
+  /// e.g. "y = 9.1e-08*RemMsgSize + 2.1e-06*RemMsg + 0.25 (R2=0.95)".
+  std::string ToString() const;
+
+ private:
+  LinearModel model_;
+};
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_COST_MODEL_H_

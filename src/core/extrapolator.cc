@@ -1,0 +1,47 @@
+#include "core/extrapolator.h"
+
+namespace predict {
+
+Result<ExtrapolationFactors> ComputeExtrapolationFactors(const Graph& full,
+                                                         const Graph& sample) {
+  if (sample.num_vertices() == 0 || sample.num_edges() == 0) {
+    return Status::InvalidArgument(
+        "sample graph has no vertices or no edges; cannot extrapolate");
+  }
+  ExtrapolationFactors factors;
+  factors.vertex_factor = static_cast<double>(full.num_vertices()) /
+                          static_cast<double>(sample.num_vertices());
+  factors.edge_factor = static_cast<double>(full.num_edges()) /
+                        static_cast<double>(sample.num_edges());
+  return factors;
+}
+
+FeatureVector ExtrapolateFeatures(const FeatureVector& sample_features,
+                                  const ExtrapolationFactors& factors) {
+  FeatureVector scaled = sample_features;
+  scaled[static_cast<int>(Feature::kActVert)] *= factors.vertex_factor;
+  scaled[static_cast<int>(Feature::kTotVert)] *= factors.vertex_factor;
+  scaled[static_cast<int>(Feature::kLocMsg)] *= factors.edge_factor;
+  scaled[static_cast<int>(Feature::kRemMsg)] *= factors.edge_factor;
+  scaled[static_cast<int>(Feature::kLocMsgSize)] *= factors.edge_factor;
+  scaled[static_cast<int>(Feature::kRemMsgSize)] *= factors.edge_factor;
+  // AvgMsgSize is intentionally not extrapolated (Table 1).
+  return scaled;
+}
+
+RunProfile ExtrapolateProfile(const RunProfile& sample_profile,
+                              const ExtrapolationFactors& factors) {
+  RunProfile scaled = sample_profile;
+  for (IterationProfile& iteration : scaled.iterations) {
+    iteration.critical_features =
+        ExtrapolateFeatures(iteration.critical_features, factors);
+    iteration.runtime_seconds = 0.0;  // to be predicted by the cost model
+  }
+  scaled.num_vertices = static_cast<uint64_t>(
+      static_cast<double>(sample_profile.num_vertices) * factors.vertex_factor);
+  scaled.num_edges = static_cast<uint64_t>(
+      static_cast<double>(sample_profile.num_edges) * factors.edge_factor);
+  return scaled;
+}
+
+}  // namespace predict

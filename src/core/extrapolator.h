@@ -1,0 +1,40 @@
+// The extrapolator (§3.4): scales features profiled on the sample run up
+// to the complete dataset.
+//
+// Two factors: eV = |V_G| / |V_S| for vertex-dependent features
+// (ActVert, TotVert) and eE = |E_G| / |E_S| for edge-dependent features
+// (message counts and byte counts). AvgMsgSize and the number of
+// iterations are not extrapolated (Table 1).
+
+#ifndef PREDICT_CORE_EXTRAPOLATOR_H_
+#define PREDICT_CORE_EXTRAPOLATOR_H_
+
+#include "common/result.h"
+#include "core/features.h"
+#include "graph/graph.h"
+
+namespace predict {
+
+/// Scaling factors from a sample to the full graph.
+struct ExtrapolationFactors {
+  double vertex_factor = 1.0;  ///< eV
+  double edge_factor = 1.0;    ///< eE
+};
+
+/// Computes eV and eE from the two graphs' sizes.
+Result<ExtrapolationFactors> ComputeExtrapolationFactors(const Graph& full,
+                                                         const Graph& sample);
+
+/// Scales one feature vector.
+FeatureVector ExtrapolateFeatures(const FeatureVector& sample_features,
+                                  const ExtrapolationFactors& factors);
+
+/// Scales a whole sample-run profile, iteration by iteration (the paper:
+/// "extrapolation of input features is done at the granularity of
+/// iterations").
+RunProfile ExtrapolateProfile(const RunProfile& sample_profile,
+                              const ExtrapolationFactors& factors);
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_EXTRAPOLATOR_H_

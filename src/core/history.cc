@@ -1,0 +1,110 @@
+#include "core/history.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace predict {
+
+void HistoryStore::Add(RunProfile profile) {
+  profiles_.push_back(std::move(profile));
+}
+
+std::vector<TrainingRow> HistoryStore::TrainingRowsFor(
+    const std::string& algorithm) const {
+  return TrainingRowsExcluding(algorithm, "");
+}
+
+std::vector<TrainingRow> HistoryStore::TrainingRowsExcluding(
+    const std::string& algorithm, const std::string& exclude_dataset) const {
+  std::vector<TrainingRow> rows;
+  for (const RunProfile& profile : profiles_) {
+    if (profile.algorithm != algorithm) continue;
+    if (!exclude_dataset.empty() && profile.dataset == exclude_dataset) {
+      continue;
+    }
+    for (const IterationProfile& it : profile.iterations) {
+      rows.push_back({it.critical_features, it.runtime_seconds});
+    }
+  }
+  return rows;
+}
+
+Status HistoryStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing: " +
+                           std::strerror(errno));
+  }
+  out << "algorithm,dataset,num_vertices,num_edges,iteration";
+  for (int i = 0; i < kNumFeatures; ++i) {
+    out << ',' << FeatureName(static_cast<Feature>(i));
+  }
+  out << ",runtime_seconds\n";
+  out.precision(17);
+  for (const RunProfile& profile : profiles_) {
+    for (const IterationProfile& it : profile.iterations) {
+      out << profile.algorithm << ',' << profile.dataset << ','
+          << profile.num_vertices << ',' << profile.num_edges << ','
+          << it.iteration;
+      for (int i = 0; i < kNumFeatures; ++i) {
+        out << ',' << it.critical_features[i];
+      }
+      out << ',' << it.runtime_seconds << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  HistoryStore store;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return store;  // empty file = empty store
+  }
+
+  // Profiles are keyed by (algorithm, dataset); rows must be contiguous
+  // per profile, which SaveToFile guarantees.
+  RunProfile current;
+  uint64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (TrimWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields = SplitString(line, ',');
+    if (fields.size() != static_cast<size_t>(5 + kNumFeatures + 1)) {
+      return Status::IOError("malformed history row at line " +
+                             std::to_string(line_no));
+    }
+    const std::string& algorithm = fields[0];
+    const std::string& dataset = fields[1];
+    if (algorithm != current.algorithm || dataset != current.dataset) {
+      if (!current.iterations.empty()) store.Add(current);
+      current = RunProfile{};
+      current.algorithm = algorithm;
+      current.dataset = dataset;
+      current.num_vertices = std::strtoull(fields[2].c_str(), nullptr, 10);
+      current.num_edges = std::strtoull(fields[3].c_str(), nullptr, 10);
+    }
+    IterationProfile iteration;
+    iteration.iteration = std::atoi(fields[4].c_str());
+    for (int i = 0; i < kNumFeatures; ++i) {
+      iteration.critical_features[i] = std::strtod(fields[5 + i].c_str(), nullptr);
+    }
+    iteration.runtime_seconds =
+        std::strtod(fields[5 + kNumFeatures].c_str(), nullptr);
+    current.iterations.push_back(iteration);
+  }
+  if (!current.iterations.empty()) store.Add(current);
+  return store;
+}
+
+}  // namespace predict

@@ -1,0 +1,49 @@
+// Historical-run store (§3.4 "Training Methodology", §5.2).
+//
+// Analytical workloads run the same algorithms repeatedly on newly
+// arriving datasets. Profiles of those *actual* runs are far better
+// training data than short sample runs (Figures 7b/8b: R^2 improves and
+// error drops when history is used), so PREDIcT persists them here and
+// merges them into the cost model's training set.
+
+#ifndef PREDICT_CORE_HISTORY_H_
+#define PREDICT_CORE_HISTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/features.h"
+
+namespace predict {
+
+/// \brief In-memory store of run profiles, persistable as CSV.
+class HistoryStore {
+ public:
+  /// Records one run profile.
+  void Add(RunProfile profile);
+
+  /// All rows for `algorithm` (any dataset), in insertion order.
+  std::vector<TrainingRow> TrainingRowsFor(const std::string& algorithm) const;
+
+  /// Profiles of `algorithm`, excluding dataset `exclude_dataset` (the
+  /// paper's evaluation trains on "all other datasets but the predicted
+  /// one").
+  std::vector<TrainingRow> TrainingRowsExcluding(
+      const std::string& algorithm, const std::string& exclude_dataset) const;
+
+  size_t size() const { return profiles_.size(); }
+  const std::vector<RunProfile>& profiles() const { return profiles_; }
+
+  /// CSV persistence. Columns: algorithm,dataset,num_vertices,num_edges,
+  /// iteration,<7 features>,runtime_seconds.
+  Status SaveToFile(const std::string& path) const;
+  static Result<HistoryStore> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<RunProfile> profiles_;
+};
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_HISTORY_H_

@@ -1,0 +1,116 @@
+#include "core/predictor.h"
+
+namespace predict {
+
+double PredictionReport::PredictedCriticalRemoteBytes() const {
+  double total = 0.0;
+  for (const IterationProfile& it : extrapolated_profile.iterations) {
+    total += it.critical_features[static_cast<int>(Feature::kRemMsgSize)];
+  }
+  return total;
+}
+
+Result<PredictionReport> Predictor::PredictRuntime(
+    const std::string& algorithm, const Graph& graph,
+    const std::string& dataset_name, const AlgorithmConfig& overrides) {
+  PREDICT_ASSIGN_OR_RETURN(AlgorithmSpec spec, FindAlgorithmSpec(algorithm));
+  PREDICT_ASSIGN_OR_RETURN(AlgorithmConfig actual_config,
+                           ResolveConfig(spec, overrides));
+
+  // 1. Sample (§3.2.1).
+  PREDICT_ASSIGN_OR_RETURN(Sample sample,
+                           SampleGraph(graph, options_.sampler));
+
+  // 2. Transform (§3.2.2).
+  PREDICT_ASSIGN_OR_RETURN(
+      AlgorithmConfig sample_config,
+      TransformConfigForSample(spec, actual_config, sample.realized_ratio,
+                               options_.transform));
+
+  // 3. Sample run with profiling (§3.2). Same engine configuration as the
+  // actual run (assumption iii).
+  RunOptions run_options;
+  run_options.engine = options_.engine;
+  run_options.config_overrides = sample_config;
+  PREDICT_ASSIGN_OR_RETURN(
+      AlgorithmRunResult sample_run,
+      RunAlgorithmByName(algorithm, sample.subgraph, run_options));
+
+  PredictionReport report;
+  report.algorithm = algorithm;
+  report.dataset = dataset_name;
+  report.sample_config = sample_config;
+  const TransformFunction& transform =
+      options_.transform != nullptr
+          ? *options_.transform
+          : static_cast<const TransformFunction&>(DefaultTransform::Instance());
+  report.transform_description = transform.Describe(spec);
+  report.realized_sampling_ratio = sample.realized_ratio;
+  report.sample_total_seconds = sample_run.stats.total_seconds;
+  report.sample_wall_seconds = sample_run.stats.wall_seconds;
+  report.sample_profile = ProfileFromRunStats(
+      algorithm, dataset_name.empty() ? "sample" : dataset_name + "_sample",
+      sample.subgraph.num_vertices(), sample.subgraph.num_edges(),
+      sample_run.stats);
+  report.predicted_iterations = report.sample_profile.num_iterations();
+
+  // 4. Extrapolate (§3.4), iteration by iteration.
+  PREDICT_ASSIGN_OR_RETURN(report.factors,
+                           ComputeExtrapolationFactors(graph, sample.subgraph));
+  report.extrapolated_profile =
+      ExtrapolateProfile(report.sample_profile, report.factors);
+
+  // 5. Cost model: train on the sample run plus history of actual runs on
+  // other datasets (§3.4 "Training Methodology").
+  std::vector<TrainingRow> rows = TrainingRowsFromProfile(report.sample_profile);
+  if (options_.history != nullptr) {
+    const std::vector<TrainingRow> history_rows =
+        options_.history->TrainingRowsExcluding(algorithm, dataset_name);
+    rows.insert(rows.end(), history_rows.begin(), history_rows.end());
+  }
+  PREDICT_ASSIGN_OR_RETURN(report.cost_model,
+                           CostModel::Train(rows, options_.cost_model));
+
+  // 6. Predict each iteration of the actual run.
+  report.per_iteration_seconds =
+      report.cost_model.PredictProfile(report.extrapolated_profile);
+  report.predicted_superstep_seconds = 0.0;
+  for (const double s : report.per_iteration_seconds) {
+    report.predicted_superstep_seconds += s;
+  }
+  return report;
+}
+
+PredictionEvaluation EvaluatePrediction(const PredictionReport& report,
+                                        const bsp::RunStats& actual) {
+  PredictionEvaluation eval;
+  eval.actual_iterations = actual.num_supersteps();
+  eval.actual_superstep_seconds = actual.superstep_phase_seconds;
+
+  const double actual_iters = static_cast<double>(eval.actual_iterations);
+  if (actual_iters > 0) {
+    eval.iterations_error =
+        (static_cast<double>(report.predicted_iterations) - actual_iters) /
+        actual_iters;
+  }
+  if (eval.actual_superstep_seconds > 0) {
+    eval.runtime_error =
+        (report.predicted_superstep_seconds - eval.actual_superstep_seconds) /
+        eval.actual_superstep_seconds;
+  }
+
+  double actual_remote_bytes = 0.0;
+  const bsp::WorkerId critical = actual.static_critical_worker;
+  for (const bsp::SuperstepStats& step : actual.supersteps) {
+    actual_remote_bytes +=
+        static_cast<double>(step.per_worker[critical].remote_message_bytes);
+  }
+  if (actual_remote_bytes > 0) {
+    eval.remote_bytes_error =
+        (report.PredictedCriticalRemoteBytes() - actual_remote_bytes) /
+        actual_remote_bytes;
+  }
+  return eval;
+}
+
+}  // namespace predict

@@ -1,0 +1,124 @@
+// The PREDIcT predictor: the end-to-end methodology of Figure 1.
+//
+//   sample -> transform -> sample run (profiling) -> extrapolate ->
+//   cost model (fit on sample + history) -> per-iteration runtimes.
+//
+// Prediction happens at iteration granularity: the sample run's i-th
+// iteration predicts the actual run's i-th iteration, so the number of
+// iterations enters implicitly (§3.4) — which is what makes PREDIcT work
+// for algorithms whose per-iteration runtime varies 100x.
+
+#ifndef PREDICT_CORE_PREDICTOR_H_
+#define PREDICT_CORE_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "algorithms/runner.h"
+#include "common/result.h"
+#include "core/cost_model.h"
+#include "core/extrapolator.h"
+#include "core/features.h"
+#include "core/history.h"
+#include "core/transform.h"
+#include "sampling/sampler.h"
+
+namespace predict {
+
+/// Everything configuring one prediction.
+struct PredictorOptions {
+  /// Sampling technique + ratio (§3.2.1). The default is BRJ at 10%.
+  SamplerOptions sampler;
+
+  /// Execution configuration — shared verbatim by the sample run and (by
+  /// assumption iii of §3.1) the actual run it predicts.
+  bsp::EngineOptions engine;
+
+  CostModelOptions cost_model;
+
+  /// Historical actual runs to merge into the training set (may be null).
+  const HistoryStore* history = nullptr;
+
+  /// Custom transform function; null = the paper's default rules.
+  const TransformFunction* transform = nullptr;
+};
+
+/// Output of one prediction.
+struct PredictionReport {
+  std::string algorithm;
+  std::string dataset;
+
+  /// Iterations observed on the sample run = predicted iterations (the
+  /// transform function preserves the count; §3.3).
+  int predicted_iterations = 0;
+
+  /// Predicted runtime of each iteration of the actual run.
+  std::vector<double> per_iteration_seconds;
+
+  /// Sum of the above: the predicted superstep-phase runtime (§2.2 — the
+  /// phase PREDIcT targets).
+  double predicted_superstep_seconds = 0.0;
+
+  /// The transformed configuration the sample run used, and the rule.
+  AlgorithmConfig sample_config;
+  std::string transform_description;
+
+  ExtrapolationFactors factors;
+
+  /// The trained cost model (R^2, selected features, coefficients).
+  CostModel cost_model;
+
+  /// Profiles: as measured on the sample, and extrapolated to full scale.
+  RunProfile sample_profile;
+  RunProfile extrapolated_profile;
+
+  /// Overhead accounting (§5.4): the sample run's own simulated runtime
+  /// (all phases) and host wall time.
+  double sample_total_seconds = 0.0;
+  double sample_wall_seconds = 0.0;
+  double realized_sampling_ratio = 0.0;
+
+  /// Predicted total remote message bytes on the critical-path worker
+  /// (the Figure-6 "remote message bytes" key feature).
+  double PredictedCriticalRemoteBytes() const;
+};
+
+/// \brief Runs the PREDIcT methodology for one (algorithm, graph) pair.
+class Predictor {
+ public:
+  explicit Predictor(PredictorOptions options) : options_(std::move(options)) {}
+
+  /// Predicts the runtime of `algorithm` on `graph`.
+  ///
+  /// `dataset_name` labels profiles and excludes same-dataset rows from
+  /// the history store (the paper trains on "all other datasets but the
+  /// predicted one"). `overrides` configure the *actual* run; the
+  /// transform function derives the sample run's configuration from them.
+  Result<PredictionReport> PredictRuntime(const std::string& algorithm,
+                                          const Graph& graph,
+                                          const std::string& dataset_name = "",
+                                          const AlgorithmConfig& overrides = {});
+
+  const PredictorOptions& options() const { return options_; }
+
+ private:
+  PredictorOptions options_;
+};
+
+/// Signed relative errors of a prediction against the observed actual
+/// run ((predicted - actual) / actual; negative = under-prediction).
+struct PredictionEvaluation {
+  double iterations_error = 0.0;
+  double runtime_error = 0.0;           ///< superstep-phase seconds
+  double remote_bytes_error = 0.0;      ///< critical-worker remote bytes
+  int actual_iterations = 0;
+  double actual_superstep_seconds = 0.0;
+};
+
+/// Compares a report to the actual run's stats.
+PredictionEvaluation EvaluatePrediction(const PredictionReport& report,
+                                        const bsp::RunStats& actual);
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_PREDICTOR_H_

@@ -1,0 +1,213 @@
+#include "core/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace predict {
+
+namespace {
+
+// Solves the symmetric positive (semi-)definite system A x = b in place
+// via Gaussian elimination with partial pivoting. Returns false if
+// singular beyond repair.
+bool SolveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-30) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate.
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col-- > 0;) {
+    double sum = b[col];
+    for (size_t k = col + 1; k < n; ++k) sum -= a[col][k] * b[k];
+    b[col] = sum / a[col][col];
+  }
+  return true;
+}
+
+double AdjustedRSquared(double r_squared, size_t n, size_t k) {
+  if (n <= k + 1) return r_squared;  // not enough dof to penalize
+  return 1.0 - (1.0 - r_squared) * (static_cast<double>(n) - 1.0) /
+                   (static_cast<double>(n) - static_cast<double>(k) - 1.0);
+}
+
+}  // namespace
+
+double LinearModel::Predict(const std::vector<double>& row) const {
+  return Predict(row.data(), row.size());
+}
+
+double LinearModel::Predict(const double* row, size_t size) const {
+  double y = intercept;
+  for (size_t i = 0; i < feature_indices.size(); ++i) {
+    const size_t idx = static_cast<size_t>(feature_indices[i]);
+    if (idx < size) y += coefficients[i] * row[idx];
+  }
+  return y;
+}
+
+std::string LinearModel::ToString(
+    const std::vector<std::string>& candidate_names) const {
+  std::string out = "y =";
+  char buf[64];
+  for (size_t i = 0; i < feature_indices.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), " %s%.4g*", i == 0 ? "" : "+ ",
+                  coefficients[i]);
+    out += buf;
+    const size_t idx = static_cast<size_t>(feature_indices[i]);
+    if (idx < candidate_names.size()) {
+      out += candidate_names[idx];
+    } else {
+      out += "x" + std::to_string(idx);
+    }
+  }
+  std::snprintf(buf, sizeof(buf), " + %.4g  (R2=%.3f)", intercept, r_squared);
+  out += buf;
+  return out;
+}
+
+Result<LinearModel> FitOls(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           const std::vector<int>& feature_indices,
+                           double ridge) {
+  const size_t n = rows.size();
+  const size_t k = feature_indices.size();
+  if (n == 0) return Status::InvalidArgument("no training rows");
+  if (n != targets.size()) {
+    return Status::InvalidArgument("rows/targets size mismatch");
+  }
+  for (const int idx : feature_indices) {
+    if (idx < 0 || static_cast<size_t>(idx) >= rows[0].size()) {
+      return Status::OutOfRange("feature index " + std::to_string(idx) +
+                                " out of candidate range");
+    }
+  }
+
+  // Column scaling: normal equations on raw byte counts (1e8) vs. an
+  // intercept column (1) are badly conditioned otherwise.
+  std::vector<double> scale(k, 1.0);
+  for (size_t j = 0; j < k; ++j) {
+    double max_abs = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      max_abs = std::max(max_abs, std::abs(rows[i][feature_indices[j]]));
+    }
+    scale[j] = max_abs > 0.0 ? max_abs : 1.0;
+  }
+
+  // Design matrix columns: k scaled features + intercept.
+  const size_t m = k + 1;
+  std::vector<std::vector<double>> normal(m, std::vector<double>(m, 0.0));
+  std::vector<double> rhs(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(m);
+    for (size_t j = 0; j < k; ++j) {
+      x[j] = rows[i][feature_indices[j]] / scale[j];
+    }
+    x[k] = 1.0;
+    for (size_t a = 0; a < m; ++a) {
+      for (size_t b = 0; b < m; ++b) normal[a][b] += x[a] * x[b];
+      rhs[a] += x[a] * targets[i];
+    }
+  }
+  for (size_t j = 0; j < k; ++j) normal[j][j] += ridge * normal[j][j] + ridge;
+
+  if (!SolveLinearSystem(normal, rhs)) {
+    return Status::Internal("singular normal equations (collinear features)");
+  }
+
+  LinearModel model;
+  model.feature_indices = feature_indices;
+  model.coefficients.resize(k);
+  for (size_t j = 0; j < k; ++j) model.coefficients[j] = rhs[j] / scale[j];
+  model.intercept = rhs[k];
+
+  // Training-set fit.
+  double mean_y = 0.0;
+  for (const double y : targets) mean_y += y;
+  mean_y /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = model.Predict(rows[i]);
+    ss_res += (targets[i] - pred) * (targets[i] - pred);
+    ss_tot += (targets[i] - mean_y) * (targets[i] - mean_y);
+  }
+  model.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  model.adjusted_r_squared = AdjustedRSquared(model.r_squared, n, k);
+  return model;
+}
+
+Result<LinearModel> ForwardSelect(const std::vector<std::vector<double>>& rows,
+                                  const std::vector<double>& targets,
+                                  int num_candidates,
+                                  const ForwardSelectionOptions& options) {
+  if (rows.empty()) return Status::InvalidArgument("no training rows");
+  if (num_candidates <= 0) {
+    return Status::InvalidArgument("num_candidates must be positive");
+  }
+
+  // Intercept-only baseline: FitOls naturally yields R^2 = 0 when the
+  // targets vary (prediction = mean) and R^2 = 1 when they are constant
+  // (already a perfect fit, so no feature can justify itself).
+  std::vector<int> selected;
+  PREDICT_ASSIGN_OR_RETURN(LinearModel best,
+                           FitOls(rows, targets, selected, options.ridge));
+
+  while (selected.size() < options.max_features) {
+    int best_candidate = -1;
+    LinearModel best_extended;
+    for (int candidate = 0; candidate < num_candidates; ++candidate) {
+      if (std::find(selected.begin(), selected.end(), candidate) !=
+          selected.end()) {
+        continue;
+      }
+      std::vector<int> trial = selected;
+      trial.push_back(candidate);
+      auto fit = FitOls(rows, targets, trial, options.ridge);
+      if (!fit.ok()) continue;  // collinear subset; skip
+      if (best_candidate < 0 ||
+          fit->adjusted_r_squared > best_extended.adjusted_r_squared) {
+        best_candidate = candidate;
+        best_extended = std::move(fit).MoveValue();
+      }
+    }
+    if (best_candidate < 0) break;
+    if (best_extended.adjusted_r_squared - best.adjusted_r_squared <
+        options.min_improvement) {
+      break;
+    }
+    selected.push_back(best_candidate);
+    best = std::move(best_extended);
+  }
+  return best;
+}
+
+double RSquared(const std::vector<double>& predicted,
+                const std::vector<double>& observed) {
+  if (predicted.size() != observed.size() || observed.empty()) return 0.0;
+  double mean = 0.0;
+  for (const double y : observed) mean += y;
+  mean /= static_cast<double>(observed.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+  }
+  return ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace predict

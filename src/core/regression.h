@@ -1,0 +1,74 @@
+// Multivariate linear regression with sequential forward feature
+// selection (§3.4, "Customizable Cost Model").
+//
+// The paper's cost model is f(X1..Xk) = c1 X1 + ... + ck Xk + r: ordinary
+// least squares over a feature subset chosen greedily by prediction
+// accuracy on the training data. The fixed functional form is what lets
+// the model extrapolate outside the training range (train on sample run,
+// predict on the full graph), and the coefficients are interpretable as
+// per-unit cost factors.
+
+#ifndef PREDICT_CORE_REGRESSION_H_
+#define PREDICT_CORE_REGRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace predict {
+
+/// A fitted linear model y = sum_i coefficients[i] * x[indices[i]] +
+/// intercept over a subset of a larger candidate feature space.
+struct LinearModel {
+  /// Candidate-space indices of the selected features.
+  std::vector<int> feature_indices;
+  /// Coefficients parallel to feature_indices ("cost values", §3.4).
+  std::vector<double> coefficients;
+  /// The residual term r.
+  double intercept = 0.0;
+  /// Coefficient of determination on the training data.
+  double r_squared = 0.0;
+  /// Adjusted R^2 (penalizes extra features; drives forward selection).
+  double adjusted_r_squared = 0.0;
+
+  /// Evaluates the model on a full candidate-space row.
+  double Predict(const std::vector<double>& row) const;
+  double Predict(const double* row, size_t size) const;
+
+  /// Human-readable form, e.g. "y = 1.1e-7*RemMsgSize + 0.31".
+  std::string ToString(
+      const std::vector<std::string>& candidate_names = {}) const;
+};
+
+/// Ordinary least squares over the given candidate-space feature subset.
+/// `rows` are full candidate-space vectors; `feature_indices` selects the
+/// regressors. A small ridge term keeps collinear subsets solvable.
+Result<LinearModel> FitOls(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           const std::vector<int>& feature_indices,
+                           double ridge = 1e-9);
+
+/// Options for forward selection.
+struct ForwardSelectionOptions {
+  size_t max_features = 4;
+  /// Stop when the best new feature improves adjusted R^2 by less.
+  double min_improvement = 1e-4;
+  double ridge = 1e-9;
+};
+
+/// Sequential forward selection (Hastie et al., §3.4 of the paper):
+/// greedily adds the candidate feature that most improves adjusted R^2.
+Result<LinearModel> ForwardSelect(const std::vector<std::vector<double>>& rows,
+                                  const std::vector<double>& targets,
+                                  int num_candidates,
+                                  const ForwardSelectionOptions& options = {});
+
+/// R^2 of predictions vs. observations.
+double RSquared(const std::vector<double>& predicted,
+                const std::vector<double>& observed);
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_REGRESSION_H_

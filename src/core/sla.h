@@ -1,0 +1,54 @@
+// Feasibility analysis (§1): "Given a cluster deployment and a workload
+// of iterative algorithms, is it feasible to execute the workload on an
+// input dataset while guaranteeing user specified SLAs?"
+//
+// Thin decision layer on top of the Predictor: predicts every job's
+// runtime and checks it (plus the non-superstep phases) against its
+// deadline.
+
+#ifndef PREDICT_CORE_SLA_H_
+#define PREDICT_CORE_SLA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace predict {
+
+/// One job of the workload under analysis.
+struct JobRequest {
+  std::string job_name;
+  std::string algorithm;       ///< registered algorithm name
+  const Graph* graph = nullptr;
+  std::string dataset_name;
+  AlgorithmConfig overrides;   ///< actual-run configuration
+  double deadline_seconds = 0.0;  ///< the SLA
+};
+
+/// Verdict for one job.
+struct JobFeasibility {
+  std::string job_name;
+  double predicted_seconds = 0.0;  ///< superstep phase
+  double deadline_seconds = 0.0;
+  bool feasible = false;
+  double headroom_seconds = 0.0;  ///< deadline - predicted
+  PredictionReport report;
+};
+
+/// Verdict for the workload.
+struct FeasibilityReport {
+  std::vector<JobFeasibility> jobs;
+  bool all_feasible = true;
+  double total_predicted_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Predicts every job and checks it against its SLA.
+Result<FeasibilityReport> AnalyzeFeasibility(const std::vector<JobRequest>& jobs,
+                                             const PredictorOptions& options);
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_SLA_H_

@@ -1,0 +1,81 @@
+#include "core/transform.h"
+
+namespace predict {
+
+Result<AlgorithmConfig> DefaultTransform::Apply(
+    const AlgorithmSpec& spec, const AlgorithmConfig& actual_config,
+    double sampling_ratio) const {
+  if (sampling_ratio <= 0.0 || sampling_ratio > 1.0) {
+    return Status::InvalidArgument("sampling_ratio must be in (0, 1]");
+  }
+  AlgorithmConfig sample_config = actual_config;  // IDConf
+  switch (spec.convergence) {
+    case ConvergenceKind::kAbsoluteAggregate:
+      // tau_S = tau_G * 1/sr (e.g. PageRank, §4.1).
+      for (const std::string& key : spec.convergence_keys) {
+        const auto it = sample_config.find(key);
+        if (it == sample_config.end()) {
+          return Status::InvalidArgument("convergence key '" + key +
+                                         "' missing from config of '" +
+                                         spec.name + "'");
+        }
+        it->second = it->second / sampling_ratio;
+      }
+      break;
+    case ConvergenceKind::kRelativeRatio:
+      // tau_S = tau_G (e.g. semi-clustering §4.2, top-k §4.3).
+    case ConvergenceKind::kFixedPoint:
+      // Nothing to scale.
+      break;
+  }
+  return sample_config;
+}
+
+std::string DefaultTransform::Describe(const AlgorithmSpec& spec) const {
+  switch (spec.convergence) {
+    case ConvergenceKind::kAbsoluteAggregate:
+      return "T = (ID_Conf, tau_S = tau_G / sr)";
+    case ConvergenceKind::kRelativeRatio:
+      return "T = (ID_Conf, tau_S = tau_G)";
+    case ConvergenceKind::kFixedPoint:
+      return "T = (ID_Conf, ID_Conv)";
+  }
+  return "T = ?";
+}
+
+const DefaultTransform& DefaultTransform::Instance() {
+  static const DefaultTransform transform;
+  return transform;
+}
+
+Result<AlgorithmConfig> IdentityTransform::Apply(
+    const AlgorithmSpec& spec, const AlgorithmConfig& actual_config,
+    double sampling_ratio) const {
+  (void)spec;
+  if (sampling_ratio <= 0.0 || sampling_ratio > 1.0) {
+    return Status::InvalidArgument("sampling_ratio must be in (0, 1]");
+  }
+  return actual_config;
+}
+
+std::string IdentityTransform::Describe(const AlgorithmSpec& spec) const {
+  (void)spec;
+  return "T = (ID_Conf, ID_Conv)  [no scaling]";
+}
+
+const IdentityTransform& IdentityTransform::Instance() {
+  static const IdentityTransform transform;
+  return transform;
+}
+
+Result<AlgorithmConfig> TransformConfigForSample(
+    const AlgorithmSpec& spec, const AlgorithmConfig& actual_config,
+    double sampling_ratio, const TransformFunction* custom) {
+  const TransformFunction& transform =
+      custom != nullptr ? *custom
+                        : static_cast<const TransformFunction&>(
+                              DefaultTransform::Instance());
+  return transform.Apply(spec, actual_config, sampling_ratio);
+}
+
+}  // namespace predict

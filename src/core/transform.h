@@ -1,0 +1,70 @@
+// The transform function (§3.2.2): mapping an algorithm's configuration
+// and convergence parameters from the actual run to the sample run.
+//
+// T = (ConfS => ConfG, ConvS => ConvG). The default rules:
+//   * convergence tuned to dataset size (absolute aggregate, e.g.
+//     PageRank's average-delta threshold): tau_S = tau_G * 1/sr;
+//   * convergence independent of dataset size (relative ratio, e.g.
+//     semi-clustering's update ratio): tau_S = tau_G;
+//   * fixed-point algorithms: nothing to transform.
+// Configuration parameters always map by identity (IDConf). Users with
+// domain knowledge can plug in a custom TransformFunction.
+
+#ifndef PREDICT_CORE_TRANSFORM_H_
+#define PREDICT_CORE_TRANSFORM_H_
+
+#include <memory>
+#include <string>
+
+#include "algorithms/algorithm_spec.h"
+#include "common/result.h"
+
+namespace predict {
+
+/// Maps the actual run's resolved config to the sample run's config.
+class TransformFunction {
+ public:
+  virtual ~TransformFunction() = default;
+
+  /// \param spec         the algorithm's spec (convergence kind, keys)
+  /// \param actual_config the resolved config of the actual run
+  /// \param sampling_ratio realized |V_S| / |V_G|, in (0, 1]
+  virtual Result<AlgorithmConfig> Apply(const AlgorithmSpec& spec,
+                                        const AlgorithmConfig& actual_config,
+                                        double sampling_ratio) const = 0;
+
+  /// For reports: a one-line description of the rule applied.
+  virtual std::string Describe(const AlgorithmSpec& spec) const = 0;
+};
+
+/// The paper's default rules, keyed off AlgorithmSpec::convergence.
+class DefaultTransform : public TransformFunction {
+ public:
+  Result<AlgorithmConfig> Apply(const AlgorithmSpec& spec,
+                                const AlgorithmConfig& actual_config,
+                                double sampling_ratio) const override;
+  std::string Describe(const AlgorithmSpec& spec) const override;
+
+  static const DefaultTransform& Instance();
+};
+
+/// An identity transform (ablation: what happens *without* scaling —
+/// the Figure-2 discussion shows iteration invariants break).
+class IdentityTransform : public TransformFunction {
+ public:
+  Result<AlgorithmConfig> Apply(const AlgorithmSpec& spec,
+                                const AlgorithmConfig& actual_config,
+                                double sampling_ratio) const override;
+  std::string Describe(const AlgorithmSpec& spec) const override;
+
+  static const IdentityTransform& Instance();
+};
+
+/// Applies `custom` if non-null, else the default rules.
+Result<AlgorithmConfig> TransformConfigForSample(
+    const AlgorithmSpec& spec, const AlgorithmConfig& actual_config,
+    double sampling_ratio, const TransformFunction* custom = nullptr);
+
+}  // namespace predict
+
+#endif  // PREDICT_CORE_TRANSFORM_H_

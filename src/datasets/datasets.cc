@@ -1,0 +1,97 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace predict {
+
+namespace {
+
+VertexId Scaled(VertexId base, double scale) {
+  const double n = std::max(16.0, std::round(static_cast<double>(base) * scale));
+  return static_cast<VertexId>(n);
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& PaperDatasets() {
+  static const std::vector<DatasetInfo> datasets = {
+      {"lj", "LiveJournal stand-in: log-normal out-degree (not power-law)",
+       80000, 1125193, false},
+      {"wiki", "Wikipedia stand-in: power-law link graph", 100000, 910971,
+       true},
+      {"tw", "Twitter stand-in: dense power-law social graph", 80000, 3857894,
+       true},
+      {"uk", "UK-2002 stand-in: power-law web crawl, higher density", 120000,
+       1460775, true},
+  };
+  return datasets;
+}
+
+std::vector<std::string> PaperDatasetNames() {
+  std::vector<std::string> names;
+  for (const DatasetInfo& info : PaperDatasets()) names.push_back(info.name);
+  return names;
+}
+
+Result<Graph> MakeDataset(const std::string& name, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  if (name == "lj") {
+    LogNormalDegreeOptions options;
+    options.num_vertices = Scaled(80000, scale);
+    options.log_mean = 2.3;
+    options.log_stddev = 0.7;
+    // Low reciprocity: reciprocal edges land preferentially on hubs and
+    // would re-grow the power-law tail this dataset must NOT have.
+    options.reciprocal_p = 0.1;
+    options.seed = 11;  // fixed per dataset
+    return GenerateLogNormalDegreeGraph(options);
+  }
+  if (name == "wiki") {
+    PreferentialAttachmentOptions options;
+    options.num_vertices = Scaled(100000, scale);
+    options.out_degree = 8;
+    options.reciprocal_p = 0.15;
+    options.seed = 22;
+    return GeneratePreferentialAttachment(options);
+  }
+  if (name == "tw") {
+    PreferentialAttachmentOptions options;
+    options.num_vertices = Scaled(80000, scale);
+    options.out_degree = 36;
+    options.reciprocal_p = 0.35;
+    options.seed = 33;
+    return GeneratePreferentialAttachment(options);
+  }
+  if (name == "uk") {
+    CopyModelOptions options;
+    options.num_vertices = Scaled(120000, scale);
+    options.copy_p = 0.72;
+    options.zipf_alpha = 2.05;  // web pages have power-law out-degree too
+    options.min_out_degree = 5;
+    options.max_out_degree = 4000;
+    options.seed = 44;
+    return GenerateCopyModelWebGraph(options);
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "'; known: lj, wiki, tw, uk");
+}
+
+bsp::EngineOptions PaperClusterOptions() {
+  bsp::EngineOptions options;
+  options.num_workers = 29;  // the paper's 30 tasks = 29 workers + master
+  options.max_supersteps = 60;
+  // Calibrated against the stand-in datasets: semi-clustering and
+  // neighborhood estimation on "uk" peak near (but under) this budget —
+  // the paper reports 90% RAM utilization for SC on UK — while
+  // semi-clustering / top-k / neighborhood estimation on "tw" exceed it
+  // and fail with ResourceExhausted (§5 "Memory Limits").
+  options.memory_budget_bytes = 300ull * 1024 * 1024;
+  return options;
+}
+
+}  // namespace predict

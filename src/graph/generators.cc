@@ -1,0 +1,273 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace predict {
+
+namespace {
+
+// Shared preferential-target picker: maintains a repeated-endpoint pool so
+// a vertex's probability of being picked is proportional to (uses + 1).
+class PreferentialPool {
+ public:
+  explicit PreferentialPool(uint64_t expected) { pool_.reserve(expected); }
+
+  void Add(VertexId v) { pool_.push_back(v); }
+
+  // Picks preferentially from the pool, or uniformly from [0, fallback)
+  // with probability uniform_p (keeps low-degree vertices reachable).
+  VertexId Pick(Rng& rng, VertexId fallback_bound, double uniform_p) {
+    if (pool_.empty() || rng.NextBool(uniform_p)) {
+      return static_cast<VertexId>(rng.Uniform(fallback_bound));
+    }
+    return pool_[rng.Uniform(pool_.size())];
+  }
+
+ private:
+  std::vector<VertexId> pool_;
+};
+
+// Zipf sampler over [min_k, max_k] with exponent alpha, via inverse CDF
+// on a precomputed table.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t min_k, uint32_t max_k, double alpha)
+      : min_k_(min_k) {
+    double total = 0.0;
+    cdf_.reserve(max_k - min_k + 1);
+    for (uint32_t k = min_k; k <= max_k; ++k) {
+      total += std::pow(static_cast<double>(k), -alpha);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  uint32_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return min_k_ + static_cast<uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  uint32_t min_k_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Result<Graph> GeneratePreferentialAttachment(
+    const PreferentialAttachmentOptions& options) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  if (options.out_degree == 0) {
+    return Status::InvalidArgument("out_degree must be > 0");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder(options.num_vertices);
+  PreferentialPool pool(static_cast<uint64_t>(options.num_vertices) *
+                        options.out_degree);
+
+  // Seed clique among the first out_degree+1 vertices.
+  const VertexId seed_count =
+      std::min<VertexId>(options.num_vertices, options.out_degree + 1);
+  for (VertexId v = 0; v < seed_count; ++v) {
+    for (VertexId u = 0; u < seed_count; ++u) {
+      if (u == v) continue;
+      builder.AddEdge(v, u);
+      pool.Add(u);
+    }
+  }
+
+  for (VertexId v = seed_count; v < options.num_vertices; ++v) {
+    for (uint32_t i = 0; i < options.out_degree; ++i) {
+      VertexId target = pool.Pick(rng, v, /*uniform_p=*/0.1);
+      if (target == v) target = (v + 1) % v;  // avoid self-loop, keep degree
+      builder.AddEdge(v, target);
+      pool.Add(target);
+      if (rng.NextBool(options.reciprocal_p)) {
+        builder.AddEdge(target, v);
+        pool.Add(v);
+      }
+    }
+  }
+  builder.set_dedup_parallel_edges(true);
+  return builder.Build();
+}
+
+Result<Graph> GenerateCopyModelWebGraph(const CopyModelOptions& options) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  if (options.copy_p < 0.0 || options.copy_p > 1.0) {
+    return Status::InvalidArgument("copy_p must be in [0,1]");
+  }
+  Rng rng(options.seed);
+  // Keep per-vertex out-lists so later pages can copy them.
+  std::vector<std::vector<VertexId>> out_lists(options.num_vertices);
+
+  const VertexId seed_count =
+      std::min<VertexId>(options.num_vertices, options.out_degree + 1);
+  for (VertexId v = 0; v < seed_count; ++v) {
+    for (VertexId u = 0; u < seed_count; ++u) {
+      if (u != v) out_lists[v].push_back(u);
+    }
+  }
+
+  std::unique_ptr<ZipfSampler> zipf;
+  if (options.zipf_alpha > 1.0) {
+    const uint32_t max_k = std::min<uint32_t>(
+        options.max_out_degree, std::max<uint32_t>(options.min_out_degree + 1,
+                                                   options.num_vertices / 10));
+    zipf = std::make_unique<ZipfSampler>(options.min_out_degree, max_k,
+                                         options.zipf_alpha);
+  }
+
+  for (VertexId v = seed_count; v < options.num_vertices; ++v) {
+    // Prototype page to copy from.
+    const VertexId proto = static_cast<VertexId>(rng.Uniform(v));
+    const auto& proto_links = out_lists[proto];
+    const uint32_t page_out_degree =
+        zipf != nullptr ? zipf->Sample(rng) : options.out_degree;
+    for (uint32_t i = 0; i < page_out_degree; ++i) {
+      VertexId target;
+      if (!proto_links.empty() && rng.NextBool(options.copy_p)) {
+        target = proto_links[rng.Uniform(proto_links.size())];
+      } else {
+        target = static_cast<VertexId>(rng.Uniform(v));
+      }
+      if (target == v) target = proto;
+      out_lists[v].push_back(target);
+    }
+  }
+
+  GraphBuilder builder(options.num_vertices);
+  for (VertexId v = 0; v < options.num_vertices; ++v) {
+    for (const VertexId u : out_lists[v]) builder.AddEdge(v, u);
+  }
+  builder.set_dedup_parallel_edges(true);
+  builder.set_drop_self_loops(true);
+  return builder.Build();
+}
+
+Result<Graph> GenerateLogNormalDegreeGraph(
+    const LogNormalDegreeOptions& options) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  if (options.log_stddev < 0.0) {
+    return Status::InvalidArgument("log_stddev must be >= 0");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder(options.num_vertices);
+  PreferentialPool pool(static_cast<uint64_t>(options.num_vertices) * 8);
+  pool.Add(0);
+
+  for (VertexId v = 0; v < options.num_vertices; ++v) {
+    // Log-normal out-degree, clamped to [1, n/4]: heavy-ish but NOT a
+    // power-law tail (the defining LiveJournal-like property).
+    const double raw =
+        std::exp(options.log_mean + options.log_stddev * rng.NextGaussian());
+    const uint64_t degree = std::clamp<uint64_t>(
+        static_cast<uint64_t>(std::lround(raw)), 1,
+        std::max<uint64_t>(1, options.num_vertices / 4));
+    for (uint64_t i = 0; i < degree; ++i) {
+      VertexId target = pool.Pick(rng, options.num_vertices, /*uniform_p=*/0.4);
+      if (target == v) {
+        target = static_cast<VertexId>((v + 1) % options.num_vertices);
+      }
+      builder.AddEdge(v, target);
+      pool.Add(target);
+      if (rng.NextBool(options.reciprocal_p)) {
+        builder.AddEdge(target, v);
+        pool.Add(v);
+      }
+    }
+  }
+  builder.set_dedup_parallel_edges(true);
+  return builder.Build();
+}
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder(options.num_vertices);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    const VertexId src = static_cast<VertexId>(rng.Uniform(options.num_vertices));
+    VertexId dst = static_cast<VertexId>(rng.Uniform(options.num_vertices));
+    if (dst == src) dst = static_cast<VertexId>((dst + 1) % options.num_vertices);
+    builder.AddEdge(src, dst);
+  }
+  builder.set_dedup_parallel_edges(true);
+  return builder.Build();
+}
+
+Result<Graph> GenerateRmat(const RmatOptions& options) {
+  if (options.scale == 0 || options.scale > 30) {
+    return Status::InvalidArgument("scale must be in [1,30]");
+  }
+  const double d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0 || options.b < 0 || options.c < 0 || d < 0) {
+    return Status::InvalidArgument("RMAT probabilities must be nonnegative and sum <= 1");
+  }
+  Rng rng(options.seed);
+  const VertexId n = static_cast<VertexId>(1u << options.scale);
+  GraphBuilder builder(n);
+  for (uint64_t e = 0; e < options.num_edges; ++e) {
+    VertexId row = 0, col = 0;
+    for (uint32_t level = 0; level < options.scale; ++level) {
+      const double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r < options.a) {
+        // top-left quadrant
+      } else if (r < options.a + options.b) {
+        col |= 1;
+      } else if (r < options.a + options.b + options.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row != col) builder.AddEdge(row, col);
+  }
+  builder.set_dedup_parallel_edges(true);
+  return builder.Build();
+}
+
+Result<Graph> GenerateChain(VertexId num_vertices) {
+  if (num_vertices == 0) return Status::InvalidArgument("empty chain");
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+Result<Graph> GenerateComplete(VertexId num_vertices) {
+  if (num_vertices == 0) return Status::InvalidArgument("empty graph");
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (VertexId u = 0; u < num_vertices; ++u) {
+      if (u != v) builder.AddEdge(v, u);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateStar(VertexId num_vertices, bool bidirectional) {
+  if (num_vertices == 0) return Status::InvalidArgument("empty graph");
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    builder.AddEdge(0, v);
+    if (bidirectional) builder.AddEdge(v, 0);
+  }
+  return builder.Build();
+}
+
+}  // namespace predict

@@ -1,0 +1,106 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on four real graphs (LiveJournal, Wikipedia,
+// Twitter, UK-2002) that are not redistributable here. These generators
+// produce laptop-scale graphs with the *shape* properties the paper's
+// findings depend on:
+//   * scale-free (power-law out-degree) vs. not — the paper attributes
+//     LiveJournal's poor predictability to a non-power-law out-degree
+//     distribution (§5.1, footnote 7);
+//   * density — Twitter is ~9x denser per vertex than the web graphs,
+//     which drives the §5.4 overhead observation;
+//   * connectivity and a small effective diameter.
+// See datasets/datasets.h for the four named stand-ins.
+
+#ifndef PREDICT_GRAPH_GENERATORS_H_
+#define PREDICT_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace predict {
+
+/// \brief Directed preferential attachment (Bollobás et al. scale-free
+/// digraph flavor).
+///
+/// Each new vertex attaches `out_degree` edges to existing vertices chosen
+/// proportionally to (in_degree + 1). Produces a power-law in-degree tail
+/// and, via the `reciprocal_p` back-edge probability, correlated in/out
+/// degrees as in social graphs.
+struct PreferentialAttachmentOptions {
+  VertexId num_vertices = 10000;
+  uint32_t out_degree = 8;       ///< edges added per new vertex
+  double reciprocal_p = 0.3;     ///< probability of adding the reverse edge
+  uint64_t seed = 1;
+};
+Result<Graph> GeneratePreferentialAttachment(
+    const PreferentialAttachmentOptions& options);
+
+/// \brief Copy-model web graph (Kumar et al.): a new page either copies
+/// the out-links of a random existing page (probability `copy_p`) or
+/// links uniformly at random. Yields power-law in-degree, high clustering
+/// and the hub-dominated structure of web crawls like UK-2002.
+struct CopyModelOptions {
+  VertexId num_vertices = 10000;
+  uint32_t out_degree = 16;  ///< fixed out-degree when zipf_alpha == 0
+  double copy_p = 0.7;
+  /// When > 1, per-page out-degrees are drawn from a Zipf distribution
+  /// with this exponent instead of being fixed (real web crawls have
+  /// power-law out-degree too).
+  double zipf_alpha = 0.0;
+  uint32_t min_out_degree = 4;   ///< Zipf lower bound
+  uint32_t max_out_degree = 2000;  ///< Zipf upper bound
+  uint64_t seed = 1;
+};
+Result<Graph> GenerateCopyModelWebGraph(const CopyModelOptions& options);
+
+/// \brief Social graph with log-normal (NOT power-law) out-degree.
+///
+/// Matches the paper's description of LiveJournal: connected and social,
+/// but with an out-degree distribution that does not follow a power law,
+/// which makes degree-biased sampling less representative. Targets are
+/// chosen with mild preferential attachment so in-degree stays skewed.
+struct LogNormalDegreeOptions {
+  VertexId num_vertices = 10000;
+  double log_mean = 2.2;    ///< mean of log(out_degree)
+  double log_stddev = 0.8;  ///< stddev of log(out_degree)
+  double reciprocal_p = 0.5;
+  uint64_t seed = 1;
+};
+Result<Graph> GenerateLogNormalDegreeGraph(const LogNormalDegreeOptions& options);
+
+/// \brief Erdős–Rényi G(n, m): m uniform random directed edges.
+/// Used in tests as the canonical non-scale-free control.
+struct ErdosRenyiOptions {
+  VertexId num_vertices = 10000;
+  uint64_t num_edges = 80000;
+  uint64_t seed = 1;
+};
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+/// \brief R-MAT / Kronecker-style recursive generator (Chakrabarti et
+/// al.), the standard scale-free benchmark generator (Graph500).
+struct RmatOptions {
+  uint32_t scale = 14;          ///< 2^scale vertices
+  uint64_t num_edges = 131072;  ///< edges to generate
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1-a-b-c
+  uint64_t seed = 1;
+};
+Result<Graph> GenerateRmat(const RmatOptions& options);
+
+/// \brief Directed chain 0 -> 1 -> ... -> n-1: the paper's example of a
+/// "degenerate" structure where sampling cannot preserve key properties
+/// (§3.5 Limitations). Used to test PREDIcT's failure modes.
+Result<Graph> GenerateChain(VertexId num_vertices);
+
+/// \brief Complete directed graph on n vertices (no self loops); small-n
+/// testing utility.
+Result<Graph> GenerateComplete(VertexId num_vertices);
+
+/// \brief Star: vertex 0 points to all others (and optionally back).
+Result<Graph> GenerateStar(VertexId num_vertices, bool bidirectional = false);
+
+}  // namespace predict
+
+#endif  // PREDICT_GRAPH_GENERATORS_H_

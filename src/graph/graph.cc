@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace predict {
+
+Result<Graph> Graph::FromEdges(VertexId num_vertices,
+                               const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_vertices);
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst, e.weight);
+  return builder.Build();
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto targets = out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const float w = is_weighted_ ? out_weights_[out_offsets_[v] + i] : 1.0f;
+      edges.push_back({v, targets[i], w});
+    }
+  }
+  return edges;
+}
+
+uint64_t Graph::MemoryFootprintBytes() const {
+  uint64_t bytes = 0;
+  bytes += out_offsets_.size() * sizeof(uint64_t);
+  bytes += out_targets_.size() * sizeof(VertexId);
+  bytes += out_weights_.size() * sizeof(float);
+  bytes += in_offsets_.size() * sizeof(uint64_t);
+  bytes += in_sources_.size() * sizeof(VertexId);
+  return bytes;
+}
+
+std::string Graph::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Graph(|V|=%llu, |E|=%llu%s)",
+                static_cast<unsigned long long>(num_vertices()),
+                static_cast<unsigned long long>(num_edges()),
+                is_weighted_ ? ", weighted" : "");
+  return buf;
+}
+
+Result<Graph> GraphBuilder::Build() {
+  // Validate endpoints.
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+          ") references a vertex >= num_vertices=" +
+          std::to_string(num_vertices_));
+    }
+  }
+
+  if (drop_self_loops_) {
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const Edge& e) { return e.src == e.dst; }),
+                 edges_.end());
+  }
+
+  if (dedup_parallel_edges_) {
+    std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                             [](const Edge& a, const Edge& b) {
+                               return a.src == b.src && a.dst == b.dst;
+                             }),
+                 edges_.end());
+  }
+
+  Graph g;
+  const uint64_t v_count = num_vertices_;
+  const uint64_t e_count = edges_.size();
+
+  g.is_weighted_ =
+      std::any_of(edges_.begin(), edges_.end(),
+                  [](const Edge& e) { return e.weight != 1.0f; });
+
+  // Counting sort into CSR, out direction.
+  g.out_offsets_.assign(v_count + 1, 0);
+  for (const Edge& e : edges_) g.out_offsets_[e.src + 1]++;
+  for (uint64_t v = 0; v < v_count; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
+  g.out_targets_.resize(e_count);
+  if (g.is_weighted_) g.out_weights_.resize(e_count);
+  {
+    std::vector<uint64_t> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      const uint64_t slot = cursor[e.src]++;
+      g.out_targets_[slot] = e.dst;
+      if (g.is_weighted_) g.out_weights_[slot] = e.weight;
+    }
+  }
+
+  // In direction.
+  g.in_offsets_.assign(v_count + 1, 0);
+  for (const Edge& e : edges_) g.in_offsets_[e.dst + 1]++;
+  for (uint64_t v = 0; v < v_count; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  g.in_sources_.resize(e_count);
+  {
+    std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) g.in_sources_[cursor[e.dst]++] = e.src;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace predict

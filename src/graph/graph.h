@@ -1,0 +1,146 @@
+// Immutable directed graph in Compressed Sparse Row (CSR) form.
+//
+// The Graph is the single input type shared by the BSP engine, the
+// samplers, and the statistics module. It stores both out- and in-
+// adjacency so that algorithms and graph statistics (in/out degree
+// ratios, PREDIcT's sampling requirements in §3.2.1 of the paper) are
+// O(1)/O(deg) without re-deriving the transpose.
+
+#ifndef PREDICT_GRAPH_GRAPH_H_
+#define PREDICT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace predict {
+
+/// Vertex identifier. Graphs are always compact: ids are [0, num_vertices).
+using VertexId = uint32_t;
+
+/// A directed edge with an optional weight (1.0 when unweighted).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+
+  bool operator==(const Edge& other) const {
+    return src == other.src && dst == other.dst && weight == other.weight;
+  }
+};
+
+/// \brief Immutable directed graph in CSR form with both adjacency
+/// directions materialized.
+///
+/// Construction goes through GraphBuilder or Graph::FromEdges. Parallel
+/// edges are allowed (they matter for message counts); self-loops are
+/// allowed unless the builder is told to drop them.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph from an edge list. Vertices are [0, num_vertices);
+  /// edges referencing vertices outside that range are rejected.
+  static Result<Graph> FromEdges(VertexId num_vertices,
+                                 const std::vector<Edge>& edges);
+
+  uint64_t num_vertices() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  /// True when any edge carries a weight != 1.0.
+  bool is_weighted() const { return is_weighted_; }
+
+  uint64_t out_degree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  uint64_t in_degree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Targets of v's outgoing edges (with multiplicity).
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Weights parallel to out_neighbors(v). Valid only if is_weighted().
+  std::span<const float> out_weights(VertexId v) const {
+    return {out_weights_.data() + out_offsets_[v],
+            out_weights_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Sources of v's incoming edges (with multiplicity).
+  std::span<const VertexId> in_neighbors(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Materializes the edge list (in CSR order). O(E).
+  std::vector<Edge> ToEdgeList() const;
+
+  /// Total bytes of the CSR arrays; used by the simulated memory model to
+  /// account for the in-memory input graph (Giraph's "read phase" loads the
+  /// graph into worker memory).
+  uint64_t MemoryFootprintBytes() const;
+
+  /// Human-readable one-line summary, e.g. "Graph(|V|=100000, |E|=854301)".
+  std::string ToString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> out_offsets_;  // size V+1
+  std::vector<VertexId> out_targets_;  // size E
+  std::vector<float> out_weights_;     // size E iff weighted, else empty
+  std::vector<uint64_t> in_offsets_;   // size V+1
+  std::vector<VertexId> in_sources_;   // size E
+  bool is_weighted_ = false;
+};
+
+/// \brief Incremental graph construction.
+///
+/// Usage:
+///   GraphBuilder b(num_vertices);
+///   b.AddEdge(0, 1);
+///   PREDICT_ASSIGN_OR_RETURN(Graph g, b.Build());
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Appends a directed edge. Out-of-range endpoints are reported by Build.
+  void AddEdge(VertexId src, VertexId dst, float weight = 1.0f) {
+    edges_.push_back({src, dst, weight});
+  }
+
+  /// Appends both (src,dst) and (dst,src); convenience for undirected input.
+  void AddUndirectedEdge(VertexId src, VertexId dst, float weight = 1.0f) {
+    AddEdge(src, dst, weight);
+    AddEdge(dst, src, weight);
+  }
+
+  /// Drop self-loops at Build time (default keeps them).
+  void set_drop_self_loops(bool drop) { drop_self_loops_ = drop; }
+
+  /// Deduplicate parallel edges at Build time, keeping the first weight.
+  void set_dedup_parallel_edges(bool dedup) { dedup_parallel_edges_ = dedup; }
+
+  uint64_t num_pending_edges() const { return edges_.size(); }
+
+  /// Validates and assembles the CSR structure. The builder is consumed.
+  Result<Graph> Build();
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+  bool drop_self_loops_ = false;
+  bool dedup_parallel_edges_ = false;
+};
+
+}  // namespace predict
+
+#endif  // PREDICT_GRAPH_GRAPH_H_

@@ -1,0 +1,373 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace predict {
+
+namespace {
+
+DegreeStats StatsFromSequence(std::vector<double> degrees) {
+  DegreeStats stats;
+  if (degrees.empty()) return stats;
+  std::sort(degrees.begin(), degrees.end());
+  const double n = static_cast<double>(degrees.size());
+  stats.mean = std::accumulate(degrees.begin(), degrees.end(), 0.0) / n;
+  stats.max = degrees.back();
+  auto quantile = [&](double q) {
+    const size_t idx = static_cast<size_t>(q * (degrees.size() - 1));
+    return degrees[idx];
+  };
+  stats.p50 = quantile(0.5);
+  stats.p90 = quantile(0.9);
+  stats.p99 = quantile(0.99);
+  // Gini coefficient over the sorted sequence.
+  double weighted = 0.0, total = 0.0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    weighted += (static_cast<double>(i) + 1.0) * degrees[i];
+    total += degrees[i];
+  }
+  if (total > 0.0) {
+    stats.gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+  }
+  return stats;
+}
+
+// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(uint64_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+DegreeStats ComputeOutDegreeStats(const Graph& graph) {
+  return StatsFromSequence(OutDegreeSequence(graph));
+}
+
+DegreeStats ComputeInDegreeStats(const Graph& graph) {
+  return StatsFromSequence(InDegreeSequence(graph));
+}
+
+double MeanInOutDegreeRatio(const Graph& graph) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    sum += static_cast<double>(graph.in_degree(v)) /
+           (static_cast<double>(graph.out_degree(v)) + 1.0);
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::vector<VertexId> WeaklyConnectedComponents(const Graph& graph) {
+  const uint64_t n = graph.num_vertices();
+  UnionFind uf(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.out_neighbors(v)) uf.Union(v, u);
+  }
+  std::vector<VertexId> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = uf.Find(v);
+  return labels;
+}
+
+uint64_t CountWeaklyConnectedComponents(const Graph& graph) {
+  const auto labels = WeaklyConnectedComponents(graph);
+  uint64_t count = 0;
+  for (VertexId v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+double LargestComponentFraction(const Graph& graph) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  const auto labels = WeaklyConnectedComponents(graph);
+  std::vector<uint64_t> sizes(n, 0);
+  for (const VertexId label : labels) sizes[label]++;
+  const uint64_t largest = *std::max_element(sizes.begin(), sizes.end());
+  return static_cast<double>(largest) / static_cast<double>(n);
+}
+
+double EffectiveDiameter(const Graph& graph, double quantile,
+                         uint32_t num_sources, uint64_t seed) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  const uint64_t sources = std::min<uint64_t>(num_sources, n);
+  const auto picks = Rng(rng).SampleWithoutReplacement(n, sources);
+
+  // Histogram of hop distances over all reached pairs (undirected BFS).
+  std::vector<uint64_t> hop_histogram;
+  std::vector<uint32_t> dist(n);
+  constexpr uint32_t kUnreached = 0xFFFFFFFFu;
+  for (const uint64_t src64 : picks) {
+    const VertexId src = static_cast<VertexId>(src64);
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    dist[src] = 0;
+    std::queue<VertexId> queue;
+    queue.push(src);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop();
+      const uint32_t d = dist[v] + 1;
+      auto visit = [&](VertexId u) {
+        if (dist[u] == kUnreached) {
+          dist[u] = d;
+          if (hop_histogram.size() <= d) hop_histogram.resize(d + 1, 0);
+          hop_histogram[d]++;
+          queue.push(u);
+        }
+      };
+      for (const VertexId u : graph.out_neighbors(v)) visit(u);
+      for (const VertexId u : graph.in_neighbors(v)) visit(u);
+    }
+  }
+
+  uint64_t total_pairs = 0;
+  for (const uint64_t c : hop_histogram) total_pairs += c;
+  if (total_pairs == 0) return 0.0;
+
+  const double target = quantile * static_cast<double>(total_pairs);
+  uint64_t cumulative = 0;
+  for (size_t h = 1; h < hop_histogram.size(); ++h) {
+    const uint64_t next = cumulative + hop_histogram[h];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation between h-1 and h as in Leskovec & Faloutsos.
+      const double need = target - static_cast<double>(cumulative);
+      const double frac = need / static_cast<double>(hop_histogram[h]);
+      return static_cast<double>(h - 1) + frac;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(hop_histogram.size() - 1);
+}
+
+double AverageClusteringCoefficient(const Graph& graph, uint32_t num_samples,
+                                    uint64_t seed) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  std::vector<uint64_t> picks;
+  if (num_samples >= n) {
+    picks.resize(n);
+    std::iota(picks.begin(), picks.end(), 0);
+  } else {
+    picks = rng.SampleWithoutReplacement(n, num_samples);
+  }
+
+  // Undirected neighborhood sets; sorted vectors for O(deg log deg) lookup.
+  auto neighborhood = [&](VertexId v) {
+    std::vector<VertexId> nbrs;
+    for (const VertexId u : graph.out_neighbors(v)) {
+      if (u != v) nbrs.push_back(u);
+    }
+    for (const VertexId u : graph.in_neighbors(v)) {
+      if (u != v) nbrs.push_back(u);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    return nbrs;
+  };
+
+  double sum = 0.0;
+  uint64_t counted = 0;
+  for (const uint64_t v64 : picks) {
+    const VertexId v = static_cast<VertexId>(v64);
+    const auto nbrs = neighborhood(v);
+    const size_t k = nbrs.size();
+    if (k < 2) {
+      ++counted;  // convention: cc=0 for degree<2 vertices
+      continue;
+    }
+    uint64_t closed = 0;
+    for (const VertexId u : nbrs) {
+      const auto u_nbrs = neighborhood(u);
+      // Count |nbrs ∩ u_nbrs| via merge.
+      size_t i = 0, j = 0;
+      while (i < nbrs.size() && j < u_nbrs.size()) {
+        if (nbrs[i] < u_nbrs[j]) {
+          ++i;
+        } else if (nbrs[i] > u_nbrs[j]) {
+          ++j;
+        } else {
+          ++closed;
+          ++i;
+          ++j;
+        }
+      }
+    }
+    sum += static_cast<double>(closed) /
+           (static_cast<double>(k) * static_cast<double>(k - 1));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double KolmogorovSmirnovD(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+std::vector<double> OutDegreeSequence(const Graph& graph) {
+  std::vector<double> seq(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    seq[v] = static_cast<double>(graph.out_degree(v));
+  }
+  return seq;
+}
+
+std::vector<double> InDegreeSequence(const Graph& graph) {
+  std::vector<double> seq(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    seq[v] = static_cast<double>(graph.in_degree(v));
+  }
+  return seq;
+}
+
+PowerLawFit FitOutDegreePowerLaw(const Graph& graph, uint64_t min_degree) {
+  PowerLawFit fit;
+  // Build ccdf points (k, P(deg >= k)) for k >= min_degree.
+  std::vector<uint64_t> degrees;
+  degrees.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    degrees.push_back(graph.out_degree(v));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  const double n = static_cast<double>(degrees.size());
+  if (degrees.empty()) return fit;
+
+  std::vector<double> log_k, log_ccdf;
+  uint64_t prev = 0;
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    const uint64_t k = degrees[i];
+    if (k < min_degree || k == prev) continue;
+    prev = k;
+    const double ccdf = static_cast<double>(degrees.size() - i) / n;
+    log_k.push_back(std::log(static_cast<double>(k)));
+    log_ccdf.push_back(std::log(ccdf));
+  }
+  if (log_k.size() < 10) return fit;
+
+  // Simple OLS in log-log space.
+  const double m = static_cast<double>(log_k.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < log_k.size(); ++i) {
+    sx += log_k[i];
+    sy += log_ccdf[i];
+    sxx += log_k[i] * log_k[i];
+    sxy += log_k[i] * log_ccdf[i];
+  }
+  const double denom = m * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.exponent = (m * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / m;
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / m;
+  for (size_t i = 0; i < log_k.size(); ++i) {
+    const double pred = fit.exponent * log_k[i] + intercept;
+    ss_res += (log_ccdf[i] - pred) * (log_ccdf[i] - pred);
+    ss_tot += (log_ccdf[i] - mean_y) * (log_ccdf[i] - mean_y);
+  }
+  fit.r_squared = ss_tot <= 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+
+  // Quadratic refit (centered to keep the normal equations conditioned):
+  // log_ccdf ~ a + b*z + c*z^2 with z = log_k - mean(log_k). The
+  // curvature c separates power law (c ~ 0) from log-normal (c << 0).
+  {
+    const double mean_x = sx / m;
+    double s1 = m, sz = 0, sz2 = 0, sz3 = 0, sz4 = 0;
+    double ty = 0, tzy = 0, tz2y = 0;
+    for (size_t i = 0; i < log_k.size(); ++i) {
+      const double z = log_k[i] - mean_x;
+      const double z2 = z * z;
+      sz += z;
+      sz2 += z2;
+      sz3 += z2 * z;
+      sz4 += z2 * z2;
+      ty += log_ccdf[i];
+      tzy += z * log_ccdf[i];
+      tz2y += z2 * log_ccdf[i];
+    }
+    // Solve the 3x3 normal system with Gaussian elimination.
+    double a[3][4] = {{s1, sz, sz2, ty},
+                      {sz, sz2, sz3, tzy},
+                      {sz2, sz3, sz4, tz2y}};
+    bool singular = false;
+    for (int col = 0; col < 3 && !singular; ++col) {
+      int pivot = col;
+      for (int row = col + 1; row < 3; ++row) {
+        if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+      }
+      if (std::abs(a[pivot][col]) < 1e-12) {
+        singular = true;
+        break;
+      }
+      for (int k = 0; k < 4; ++k) std::swap(a[col][k], a[pivot][k]);
+      for (int row = col + 1; row < 3; ++row) {
+        const double factor = a[row][col] / a[col][col];
+        for (int k = col; k < 4; ++k) a[row][k] -= factor * a[col][k];
+      }
+    }
+    if (!singular) {
+      // Back-substitute only the quadratic coefficient (last unknown).
+      fit.curvature = a[2][3] / a[2][2];
+    }
+  }
+
+  fit.plausible = fit.r_squared >= 0.7 && fit.exponent < -0.5 &&
+                  fit.curvature > -0.35;
+  return fit;
+}
+
+std::string DescribeGraph(const Graph& graph) {
+  const DegreeStats out = ComputeOutDegreeStats(graph);
+  const PowerLawFit fit = FitOutDegreePowerLaw(graph);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%llu |E|=%llu avg_out=%.2f max_out=%.0f gini=%.2f "
+                "powerlaw(R2=%.2f, a=%.2f) lcc_frac=%.3f",
+                static_cast<unsigned long long>(graph.num_vertices()),
+                static_cast<unsigned long long>(graph.num_edges()), out.mean,
+                out.max, out.gini, fit.r_squared, fit.exponent,
+                LargestComponentFraction(graph));
+  return buf;
+}
+
+}  // namespace predict

@@ -1,0 +1,99 @@
+// Graph statistics used by PREDIcT's sampling-quality analysis.
+//
+// §3.2.1 of the paper requires the sampling technique to maintain "key
+// properties of the sample graph similar or proportional with those of
+// the original graph: ... in/out degree proportionality, effective
+// diameter, clustering coefficient". This module computes those
+// properties plus the Kolmogorov–Smirnov D-statistic that Leskovec &
+// Faloutsos (KDD'06) use to score how closely a sample's property
+// distributions track the full graph's.
+
+#ifndef PREDICT_GRAPH_STATS_H_
+#define PREDICT_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace predict {
+
+/// Summary statistics of a degree sequence.
+struct DegreeStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;   ///< median
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double gini = 0.0;  ///< inequality of the degree mass; ~0 uniform, ->1 skewed
+};
+
+DegreeStats ComputeOutDegreeStats(const Graph& graph);
+DegreeStats ComputeInDegreeStats(const Graph& graph);
+
+/// Mean over vertices of in_degree/(out_degree+1); tracks the paper's
+/// "in/out node degree proportionality" sampling requirement.
+double MeanInOutDegreeRatio(const Graph& graph);
+
+/// Weakly-connected components via union-find.
+/// Returns the component label of each vertex (labels are arbitrary but
+/// equal within a component).
+std::vector<VertexId> WeaklyConnectedComponents(const Graph& graph);
+
+/// Number of weakly-connected components.
+uint64_t CountWeaklyConnectedComponents(const Graph& graph);
+
+/// Fraction of vertices in the largest weakly-connected component;
+/// the paper's "connectivity" sampling requirement in one number.
+double LargestComponentFraction(const Graph& graph);
+
+/// \brief Effective diameter: the smallest h such that at least `quantile`
+/// (default 0.9, per Kang et al. / the paper's §4.1) of connected vertex
+/// pairs are within h hops, estimated by exact BFS from `num_sources`
+/// sampled sources, treating edges as undirected.
+///
+/// Deterministic for a fixed seed. Interpolates between integer hop counts
+/// as in Leskovec & Faloutsos.
+double EffectiveDiameter(const Graph& graph, double quantile = 0.9,
+                         uint32_t num_sources = 64, uint64_t seed = 42);
+
+/// Average local clustering coefficient, estimated on `num_samples`
+/// sampled vertices (exact when num_samples >= |V|). Edge directions are
+/// ignored.
+double AverageClusteringCoefficient(const Graph& graph,
+                                    uint32_t num_samples = 2000,
+                                    uint64_t seed = 42);
+
+/// Kolmogorov–Smirnov D-statistic between two empirical samples
+/// (max distance between their ECDFs). Used to compare degree
+/// distributions of a sample graph vs. the original (Leskovec's metric).
+double KolmogorovSmirnovD(std::vector<double> a, std::vector<double> b);
+
+/// Out-degree sequence as doubles (for D-statistics).
+std::vector<double> OutDegreeSequence(const Graph& graph);
+std::vector<double> InDegreeSequence(const Graph& graph);
+
+/// \brief Tests whether the out-degree tail is power-law-like.
+///
+/// Fits log(ccdf) ~ alpha*log(k) over the upper tail, and additionally a
+/// quadratic term to measure curvature: a power law is straight in
+/// log-log space (curvature ~ 0), while a log-normal — the paper's
+/// LiveJournal observation, footnote 7: out-degree "not following a
+/// power law" — bends downward (curvature ~ -1/(2 sigma^2)).
+struct PowerLawFit {
+  double exponent = 0.0;  ///< slope of the ccdf in log-log space (negative)
+  double r_squared = 0.0;
+  double curvature = 0.0;  ///< quadratic coefficient; << 0 = log-normal-ish
+  bool plausible = false;  ///< straight enough + steep enough + enough points
+};
+
+PowerLawFit FitOutDegreePowerLaw(const Graph& graph, uint64_t min_degree = 4);
+
+/// One-line description of all key properties; used by the dataset
+/// registry (Table 2) and the sample-quality report.
+std::string DescribeGraph(const Graph& graph);
+
+}  // namespace predict
+
+#endif  // PREDICT_GRAPH_STATS_H_

@@ -1,0 +1,82 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace predict {
+
+Result<Graph> ToUndirected(const Graph& graph) {
+  const uint64_t v_count = graph.num_vertices();
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges() * 2);
+  for (VertexId v = 0; v < v_count; ++v) {
+    const auto targets = graph.out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const float w = graph.is_weighted() ? graph.out_weights(v)[i] : 1.0f;
+      edges.push_back({v, targets[i], w});
+      if (v != targets[i]) edges.push_back({targets[i], v, w});
+    }
+  }
+  // Dedup unordered pairs that already existed in both directions.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+  return Graph::FromEdges(static_cast<VertexId>(v_count), edges);
+}
+
+Result<SubgraphResult> InducedSubgraph(const Graph& graph,
+                                       const std::vector<VertexId>& vertices) {
+  const uint64_t v_count = graph.num_vertices();
+  std::unordered_map<VertexId, VertexId> new_id;
+  new_id.reserve(vertices.size() * 2);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    if (v >= v_count) {
+      return Status::InvalidArgument("sampled vertex " + std::to_string(v) +
+                                     " out of range");
+    }
+    if (!new_id.emplace(v, static_cast<VertexId>(i)).second) {
+      return Status::InvalidArgument("duplicate vertex " + std::to_string(v) +
+                                     " in sample");
+    }
+  }
+
+  std::vector<Edge> edges;
+  for (const VertexId v : vertices) {
+    const auto it_src = new_id.find(v);
+    const auto targets = graph.out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const auto it_dst = new_id.find(targets[i]);
+      if (it_dst == new_id.end()) continue;
+      const float w = graph.is_weighted() ? graph.out_weights(v)[i] : 1.0f;
+      edges.push_back({it_src->second, it_dst->second, w});
+    }
+  }
+
+  SubgraphResult result;
+  result.original_id = vertices;
+  PREDICT_ASSIGN_OR_RETURN(
+      result.graph,
+      Graph::FromEdges(static_cast<VertexId>(vertices.size()), edges));
+  return result;
+}
+
+Result<Graph> Transpose(const Graph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto targets = graph.out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const float w = graph.is_weighted() ? graph.out_weights(v)[i] : 1.0f;
+      edges.push_back({targets[i], v, w});
+    }
+  }
+  return Graph::FromEdges(static_cast<VertexId>(graph.num_vertices()), edges);
+}
+
+}  // namespace predict

@@ -1,0 +1,41 @@
+// Structural graph transforms: undirected conversion and induced
+// subgraphs.
+//
+// ToUndirected mirrors Giraph's behaviour described in §5 of the paper
+// ("a reverse edge is added to each edge" for algorithms operating on
+// undirected graphs). InducedSubgraph is the second half of every
+// sampling technique: given the sampled vertex set, keep the edges whose
+// endpoints were both sampled and remap ids to a compact range.
+
+#ifndef PREDICT_GRAPH_TRANSFORMS_H_
+#define PREDICT_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace predict {
+
+/// Adds a reverse edge for every directed edge, deduplicating so each
+/// unordered pair appears exactly once in each direction. Self-loops are
+/// kept once. Weights are preserved (first occurrence wins).
+Result<Graph> ToUndirected(const Graph& graph);
+
+/// Result of InducedSubgraph: the subgraph plus the id mapping.
+struct SubgraphResult {
+  Graph graph;
+  /// original_id[i] = the vertex in the source graph that became vertex i.
+  std::vector<VertexId> original_id;
+};
+
+/// Builds the subgraph induced by `vertices` (order defines the new ids).
+/// Duplicate entries in `vertices` are rejected.
+Result<SubgraphResult> InducedSubgraph(const Graph& graph,
+                                       const std::vector<VertexId>& vertices);
+
+/// Reverses every edge (the transpose graph).
+Result<Graph> Transpose(const Graph& graph);
+
+}  // namespace predict
+
+#endif  // PREDICT_GRAPH_TRANSFORMS_H_

@@ -1,0 +1,45 @@
+#include "sampling/quality.h"
+
+#include <cstdio>
+
+#include "graph/stats.h"
+
+namespace predict {
+
+std::string SampleQualityReport::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "D(out)=%.3f D(in)=%.3f diam %.2f->%.2f cc %.3f->%.3f "
+                "lcc %.3f->%.3f in/out %.2f->%.2f",
+                out_degree_d_statistic, in_degree_d_statistic,
+                original_effective_diameter, sample_effective_diameter,
+                original_clustering, sample_clustering,
+                original_largest_component, sample_largest_component,
+                original_in_out_ratio, sample_in_out_ratio);
+  return buf;
+}
+
+SampleQualityReport EvaluateSampleQuality(const Graph& original,
+                                          const Sample& sample,
+                                          uint32_t diameter_sources,
+                                          uint64_t seed) {
+  SampleQualityReport report;
+  report.out_degree_d_statistic = KolmogorovSmirnovD(
+      OutDegreeSequence(original), OutDegreeSequence(sample.subgraph));
+  report.in_degree_d_statistic = KolmogorovSmirnovD(
+      InDegreeSequence(original), InDegreeSequence(sample.subgraph));
+  report.original_effective_diameter =
+      EffectiveDiameter(original, 0.9, diameter_sources, seed);
+  report.sample_effective_diameter =
+      EffectiveDiameter(sample.subgraph, 0.9, diameter_sources, seed);
+  report.original_clustering = AverageClusteringCoefficient(original, 500, seed);
+  report.sample_clustering =
+      AverageClusteringCoefficient(sample.subgraph, 500, seed);
+  report.original_largest_component = LargestComponentFraction(original);
+  report.sample_largest_component = LargestComponentFraction(sample.subgraph);
+  report.original_in_out_ratio = MeanInOutDegreeRatio(original);
+  report.sample_in_out_ratio = MeanInOutDegreeRatio(sample.subgraph);
+  return report;
+}
+
+}  // namespace predict

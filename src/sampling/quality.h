@@ -1,0 +1,44 @@
+// Sample-quality report: how well a sample preserves the original
+// graph's key properties (§3.2.1's requirements, scored with the
+// D-statistics of Leskovec & Faloutsos).
+
+#ifndef PREDICT_SAMPLING_QUALITY_H_
+#define PREDICT_SAMPLING_QUALITY_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "sampling/sampler.h"
+
+namespace predict {
+
+/// Property-by-property comparison between a sample and its source graph.
+struct SampleQualityReport {
+  double out_degree_d_statistic = 0.0;  ///< KS distance, out-degree dists
+  double in_degree_d_statistic = 0.0;   ///< KS distance, in-degree dists
+  double original_effective_diameter = 0.0;
+  double sample_effective_diameter = 0.0;
+  double original_clustering = 0.0;
+  double sample_clustering = 0.0;
+  double original_largest_component = 0.0;  ///< fraction of |V|
+  double sample_largest_component = 0.0;
+  double original_in_out_ratio = 0.0;
+  double sample_in_out_ratio = 0.0;
+
+  /// Rough scalar summary: mean of the two D-statistics (lower = better).
+  double MeanDStatistic() const {
+    return 0.5 * (out_degree_d_statistic + in_degree_d_statistic);
+  }
+
+  std::string ToString() const;
+};
+
+/// Computes the report. `diameter_sources` bounds the BFS work.
+SampleQualityReport EvaluateSampleQuality(const Graph& original,
+                                          const Sample& sample,
+                                          uint32_t diameter_sources = 32,
+                                          uint64_t seed = 42);
+
+}  // namespace predict
+
+#endif  // PREDICT_SAMPLING_QUALITY_H_

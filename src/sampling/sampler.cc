@@ -1,0 +1,245 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace predict {
+
+namespace {
+
+// Common state for the random-walk family: tracks picked vertices in
+// insertion order, stops when the target count is reached.
+class PickSet {
+ public:
+  explicit PickSet(uint64_t target) : target_(target) {}
+
+  // Returns true if v was newly added.
+  bool Add(VertexId v) {
+    if (set_.insert(v).second) {
+      order_.push_back(v);
+      return true;
+    }
+    return false;
+  }
+
+  bool Contains(VertexId v) const { return set_.count(v) != 0; }
+  bool Done() const { return order_.size() >= target_; }
+  std::vector<VertexId>& order() { return order_; }
+
+ private:
+  uint64_t target_;
+  std::unordered_set<VertexId> set_;
+  std::vector<VertexId> order_;
+};
+
+// One random-walk step along an outgoing edge; returns false if the
+// current vertex has no outgoing edges (walk must restart).
+bool Step(const Graph& graph, Rng& rng, VertexId& current) {
+  const auto targets = graph.out_neighbors(current);
+  if (targets.empty()) return false;
+  current = targets[rng.Uniform(targets.size())];
+  return true;
+}
+
+std::vector<VertexId> TopOutDegreeSeeds(const Graph& graph, uint64_t k) {
+  std::vector<VertexId> vertices(graph.num_vertices());
+  std::iota(vertices.begin(), vertices.end(), 0);
+  k = std::min<uint64_t>(k, vertices.size());
+  std::partial_sort(vertices.begin(), vertices.begin() + k, vertices.end(),
+                    [&](VertexId a, VertexId b) {
+                      const uint64_t da = graph.out_degree(a);
+                      const uint64_t db = graph.out_degree(b);
+                      return da != db ? da > db : a < b;  // deterministic ties
+                    });
+  vertices.resize(k);
+  return vertices;
+}
+
+// RJ and BRJ share the jump-walk skeleton; they differ only in how a
+// restart vertex is chosen.
+template <typename RestartFn>
+std::vector<VertexId> JumpWalk(const Graph& graph, const SamplerOptions& options,
+                               uint64_t target, RestartFn restart) {
+  Rng rng(options.seed);
+  PickSet picks(target);
+  VertexId current = restart(rng);
+  picks.Add(current);
+  // Guard against pathological graphs (e.g. no outgoing edges anywhere):
+  // cap total steps at a generous multiple of the target.
+  const uint64_t max_steps = 200 * target + 1000;
+  uint64_t steps = 0;
+  while (!picks.Done() && steps < max_steps) {
+    ++steps;
+    if (rng.NextBool(options.jump_probability) || !Step(graph, rng, current)) {
+      current = restart(rng);
+    }
+    picks.Add(current);
+  }
+  // Degenerate structures may starve the walk (§3.5 limitations); fill the
+  // remainder uniformly so the requested ratio is honored.
+  while (!picks.Done()) {
+    picks.Add(static_cast<VertexId>(rng.Uniform(graph.num_vertices())));
+  }
+  return std::move(picks.order());
+}
+
+std::vector<VertexId> RunRandomJump(const Graph& graph,
+                                    const SamplerOptions& options,
+                                    uint64_t target) {
+  const uint64_t n = graph.num_vertices();
+  return JumpWalk(graph, options, target, [n](Rng& rng) {
+    return static_cast<VertexId>(rng.Uniform(n));
+  });
+}
+
+std::vector<VertexId> RunBiasedRandomJump(const Graph& graph,
+                                          const SamplerOptions& options,
+                                          uint64_t target) {
+  const uint64_t n = graph.num_vertices();
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(options.seed_fraction *
+                                            static_cast<double>(n))));
+  const std::vector<VertexId> seeds = TopOutDegreeSeeds(graph, k);
+  return JumpWalk(graph, options, target, [&seeds](Rng& rng) {
+    return seeds[rng.Uniform(seeds.size())];
+  });
+}
+
+// Undirected degree used by MHRW's acceptance ratio.
+uint64_t UndirectedDegree(const Graph& graph, VertexId v) {
+  return graph.out_degree(v) + graph.in_degree(v);
+}
+
+// One undirected neighbor pick (walks ignore direction, as in Gjoka et al.).
+bool UndirectedStep(const Graph& graph, Rng& rng, VertexId& current) {
+  const auto out = graph.out_neighbors(current);
+  const auto in = graph.in_neighbors(current);
+  const uint64_t degree = out.size() + in.size();
+  if (degree == 0) return false;
+  const uint64_t pick = rng.Uniform(degree);
+  current = pick < out.size() ? out[pick] : in[pick - out.size()];
+  return true;
+}
+
+std::vector<VertexId> RunMetropolisHastings(const Graph& graph,
+                                            const SamplerOptions& options,
+                                            uint64_t target) {
+  const uint64_t n = graph.num_vertices();
+  Rng rng(options.seed);
+  PickSet picks(target);
+  VertexId current = static_cast<VertexId>(rng.Uniform(n));
+  picks.Add(current);
+  const uint64_t max_steps = 400 * target + 1000;
+  uint64_t steps = 0;
+  while (!picks.Done() && steps < max_steps) {
+    ++steps;
+    if (rng.NextBool(options.jump_probability)) {
+      current = static_cast<VertexId>(rng.Uniform(n));
+      picks.Add(current);
+      continue;
+    }
+    VertexId proposal = current;
+    if (!UndirectedStep(graph, rng, proposal)) {
+      current = static_cast<VertexId>(rng.Uniform(n));
+      picks.Add(current);
+      continue;
+    }
+    // MH acceptance removes the walk's bias towards high-degree vertices:
+    // accept with probability min(1, deg(current)/deg(proposal)).
+    const double ratio = static_cast<double>(UndirectedDegree(graph, current)) /
+                         static_cast<double>(UndirectedDegree(graph, proposal));
+    if (ratio >= 1.0 || rng.NextDouble() < ratio) current = proposal;
+    picks.Add(current);
+  }
+  while (!picks.Done()) {
+    picks.Add(static_cast<VertexId>(rng.Uniform(n)));
+  }
+  return std::move(picks.order());
+}
+
+std::vector<VertexId> RunForestFire(const Graph& graph,
+                                    const SamplerOptions& options,
+                                    uint64_t target) {
+  const uint64_t n = graph.num_vertices();
+  Rng rng(options.seed);
+  PickSet picks(target);
+  std::vector<VertexId> frontier;
+  while (!picks.Done()) {
+    // Ignite at a random unvisited vertex.
+    VertexId seed = static_cast<VertexId>(rng.Uniform(n));
+    picks.Add(seed);
+    frontier.assign(1, seed);
+    while (!frontier.empty() && !picks.Done()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      // Burn a geometric number of untouched out-neighbors.
+      for (const VertexId u : graph.out_neighbors(v)) {
+        if (picks.Done()) break;
+        if (!rng.NextBool(options.forward_burning_p)) continue;
+        if (picks.Add(u)) frontier.push_back(u);
+      }
+    }
+  }
+  return std::move(picks.order());
+}
+
+}  // namespace
+
+const char* SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kRandomJump:
+      return "RJ";
+    case SamplerKind::kBiasedRandomJump:
+      return "BRJ";
+    case SamplerKind::kMetropolisHastingsRW:
+      return "MHRW";
+    case SamplerKind::kForestFire:
+      return "FF";
+  }
+  return "unknown";
+}
+
+Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
+                                             const SamplerOptions& options) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.sampling_ratio <= 0.0 || options.sampling_ratio > 1.0) {
+    return Status::InvalidArgument("sampling_ratio must be in (0, 1]");
+  }
+  if (options.jump_probability < 0.0 || options.jump_probability > 1.0) {
+    return Status::InvalidArgument("jump_probability must be in [0, 1]");
+  }
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(options.sampling_ratio * static_cast<double>(n))));
+
+  switch (options.kind) {
+    case SamplerKind::kRandomJump:
+      return RunRandomJump(graph, options, target);
+    case SamplerKind::kBiasedRandomJump:
+      return RunBiasedRandomJump(graph, options, target);
+    case SamplerKind::kMetropolisHastingsRW:
+      return RunMetropolisHastings(graph, options, target);
+    case SamplerKind::kForestFire:
+      return RunForestFire(graph, options, target);
+  }
+  return Status::InvalidArgument("unknown sampler kind");
+}
+
+Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options) {
+  PREDICT_ASSIGN_OR_RETURN(std::vector<VertexId> vertices,
+                           SampleVertices(graph, options));
+  PREDICT_ASSIGN_OR_RETURN(SubgraphResult sub, InducedSubgraph(graph, vertices));
+  Sample sample;
+  sample.vertices = std::move(sub.original_id);
+  sample.subgraph = std::move(sub.graph);
+  sample.realized_ratio = static_cast<double>(sample.vertices.size()) /
+                          static_cast<double>(graph.num_vertices());
+  return sample;
+}
+
+}  // namespace predict

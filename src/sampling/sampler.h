@@ -1,0 +1,72 @@
+// Graph sampling techniques (§3.2.1 of the paper).
+//
+// A sampler picks a vertex subset whose induced subgraph preserves the
+// key properties of the original graph (connectivity, in/out degree
+// proportionality, effective diameter). PREDIcT's default is Biased
+// Random Jump (BRJ), the paper's contribution: Random Jump seeded at the
+// k highest-out-degree vertices, trading sampling uniformity for
+// connectivity of the sampled "core of the network".
+
+#ifndef PREDICT_SAMPLING_SAMPLER_H_
+#define PREDICT_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/transforms.h"
+
+namespace predict {
+
+/// Which sampling technique to use.
+enum class SamplerKind {
+  kRandomJump,            ///< RJ, Leskovec & Faloutsos
+  kBiasedRandomJump,      ///< BRJ, this paper's default (§3.2.1)
+  kMetropolisHastingsRW,  ///< MHRW, Gjoka et al. (removes degree bias)
+  kForestFire,            ///< FF, Leskovec & Faloutsos (extension)
+};
+
+const char* SamplerKindName(SamplerKind kind);
+
+/// Parameters shared by the random-walk samplers.
+struct SamplerOptions {
+  SamplerKind kind = SamplerKind::kBiasedRandomJump;
+
+  /// Fraction of vertices to sample, in (0, 1].
+  double sampling_ratio = 0.1;
+
+  /// Walk restart probability (the paper's p = 0.15).
+  double jump_probability = 0.15;
+
+  /// BRJ: seed-set size as a fraction of |V| (the paper's k = 1%).
+  double seed_fraction = 0.01;
+
+  /// Forest fire: forward burning probability.
+  double forward_burning_p = 0.35;
+
+  uint64_t seed = 1;
+};
+
+/// A sampled vertex set plus its induced subgraph.
+struct Sample {
+  /// Vertices of the original graph, in sampling order; position i became
+  /// vertex i of `subgraph`.
+  std::vector<VertexId> vertices;
+  Graph subgraph;
+  /// |vertices| / |V_original|, the realized sampling ratio.
+  double realized_ratio = 0.0;
+};
+
+/// Runs the sampler described by `options` and returns the sampled
+/// vertices together with their induced subgraph.
+Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options);
+
+/// Returns just the sampled vertex ids (no subgraph extraction).
+Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
+                                             const SamplerOptions& options);
+
+}  // namespace predict
+
+#endif  // PREDICT_SAMPLING_SAMPLER_H_

@@ -1,0 +1,282 @@
+// Tests for common/: Status, Result, Rng, string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace predict {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  const Status s = Status::InvalidArgument("bad ratio");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad ratio");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad ratio");
+}
+
+TEST(StatusTest, EachFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  const Status s = Status::NotFound("x");
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PREDICT_RETURN_NOT_OK(Status::IOError("disk"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIOError());
+
+  auto passes = []() -> Status {
+    PREDICT_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_TRUE(passes().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("x"); };
+  auto outer = [&]() -> Result<double> {
+    PREDICT_ASSIGN_OR_RETURN(int v, inner());
+    return static_cast<double>(v);
+  };
+  EXPECT_TRUE(outer().status().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnMacroPassesValue) {
+  auto inner = []() -> Result<int> { return 7; };
+  auto outer = [&]() -> Result<double> {
+    PREDICT_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2.0;
+  };
+  const auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 14.0);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) differing += a.Next64() != b.Next64();
+  EXPECT_GT(differing, 95);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformBoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.Uniform(10)]++;
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsAreStandard) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NextBoolFrequencyTracksP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  const auto picks = rng.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(picks.size(), 100u);
+  std::set<uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const uint64_t p : picks) EXPECT_LT(p, 1000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDenseBranch) {
+  Rng rng(17);
+  const auto picks = rng.SampleWithoutReplacement(100, 90);  // k*2 >= n
+  std::set<uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 90u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(17);
+  const auto picks = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng base(21);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  Rng a2 = base.Fork(1);
+  EXPECT_EQ(a.Next64(), a2.Next64());  // same stream id -> same stream
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) differing += a.Next64() != b.Next64();
+  EXPECT_GT(differing, 45);
+}
+
+TEST(RngTest, HashToUnitDoubleDeterministicAndBounded) {
+  const double x = Rng::HashToUnitDouble(1, 2, 3);
+  EXPECT_EQ(x, Rng::HashToUnitDouble(1, 2, 3));
+  EXPECT_NE(x, Rng::HashToUnitDouble(1, 2, 4));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double v = Rng::HashToUnitDouble(42, i, i * 3 + 1);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitDropsEmptyTokens) {
+  const auto parts = SplitString(",,a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, SplitEmptyInput) {
+  EXPECT_TRUE(SplitString("", ',').empty());
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("pagerank", "page"));
+  EXPECT_FALSE(StartsWith("page", "pagerank"));
+}
+
+TEST(StringsTest, FormatSecondsUnits) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatSeconds(0.005), "5.0 ms");
+  EXPECT_EQ(FormatSeconds(42.0), "42.0 s");
+  EXPECT_EQ(FormatSeconds(600.0), "10.0 min");
+}
+
+TEST(StringsTest, FormatBytesUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3u * 1024 * 1024), "3.0 MB");
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcde", 4), "abcde");
+}
+
+}  // namespace
+}  // namespace predict

@@ -1,0 +1,237 @@
+// Tests for graph/generators: shape properties, determinism, options
+// validation. Parameterized sweeps check invariants across sizes/seeds.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace predict {
+namespace {
+
+// ------------------------------------------------- preferential attachment
+
+TEST(PreferentialAttachmentTest, RespectsVertexCount) {
+  const Graph g = GeneratePreferentialAttachment({5000, 6, 0.3, 1}).MoveValue();
+  EXPECT_EQ(g.num_vertices(), 5000u);
+  EXPECT_GT(g.num_edges(), 5000u * 5);
+}
+
+TEST(PreferentialAttachmentTest, DeterministicForSeed) {
+  const Graph a = GeneratePreferentialAttachment({2000, 5, 0.3, 9}).MoveValue();
+  const Graph b = GeneratePreferentialAttachment({2000, 5, 0.3, 9}).MoveValue();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < 100; ++v) {
+    EXPECT_EQ(a.out_degree(v), b.out_degree(v));
+  }
+}
+
+TEST(PreferentialAttachmentTest, DifferentSeedsDiffer) {
+  const Graph a = GeneratePreferentialAttachment({2000, 5, 0.3, 9}).MoveValue();
+  const Graph b = GeneratePreferentialAttachment({2000, 5, 0.3, 10}).MoveValue();
+  EXPECT_NE(a.num_edges(), b.num_edges());
+}
+
+TEST(PreferentialAttachmentTest, ConnectedByConstruction) {
+  const Graph g = GeneratePreferentialAttachment({3000, 4, 0.3, 2}).MoveValue();
+  EXPECT_DOUBLE_EQ(LargestComponentFraction(g), 1.0);
+}
+
+TEST(PreferentialAttachmentTest, HubsExist) {
+  const Graph g = GeneratePreferentialAttachment({20000, 8, 0.3, 4}).MoveValue();
+  const DegreeStats in = ComputeInDegreeStats(g);
+  EXPECT_GT(in.max, 50 * in.mean);  // heavy tail
+}
+
+TEST(PreferentialAttachmentTest, RejectsBadOptions) {
+  EXPECT_TRUE(GeneratePreferentialAttachment({1, 4, 0.3, 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GeneratePreferentialAttachment({100, 0, 0.3, 1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PreferentialAttachmentTest, NoSelfLoops) {
+  const Graph g = GeneratePreferentialAttachment({2000, 6, 0.5, 7}).MoveValue();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.out_neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+// -------------------------------------------------------------- copy model
+
+TEST(CopyModelTest, FixedOutDegree) {
+  CopyModelOptions options;
+  options.num_vertices = 3000;
+  options.out_degree = 12;
+  options.seed = 5;
+  const Graph g = GenerateCopyModelWebGraph(options).MoveValue();
+  // Dedup can only reduce; most pages should still have close to 12.
+  const DegreeStats out = ComputeOutDegreeStats(g);
+  EXPECT_LE(out.max, 12.0 + 12.0);  // seed clique vertices can exceed
+  EXPECT_GT(out.mean, 6.0);
+}
+
+TEST(CopyModelTest, ZipfOutDegreeHasHeavyTail) {
+  CopyModelOptions options;
+  options.num_vertices = 30000;
+  options.zipf_alpha = 2.0;
+  options.min_out_degree = 4;
+  options.seed = 5;
+  const Graph g = GenerateCopyModelWebGraph(options).MoveValue();
+  const DegreeStats out = ComputeOutDegreeStats(g);
+  EXPECT_GT(out.max, 20 * out.mean);
+  EXPECT_TRUE(FitOutDegreePowerLaw(g).plausible);
+}
+
+TEST(CopyModelTest, CopyingCreatesPopularPages) {
+  CopyModelOptions options;
+  options.num_vertices = 20000;
+  options.out_degree = 10;
+  options.copy_p = 0.8;
+  options.seed = 6;
+  const Graph g = GenerateCopyModelWebGraph(options).MoveValue();
+  const DegreeStats in = ComputeInDegreeStats(g);
+  EXPECT_GT(in.max, 30 * in.mean);
+}
+
+TEST(CopyModelTest, RejectsBadCopyP) {
+  CopyModelOptions options;
+  options.copy_p = 1.5;
+  EXPECT_TRUE(GenerateCopyModelWebGraph(options).status().IsInvalidArgument());
+}
+
+TEST(CopyModelTest, Deterministic) {
+  CopyModelOptions options;
+  options.num_vertices = 2000;
+  options.seed = 8;
+  const Graph a = GenerateCopyModelWebGraph(options).MoveValue();
+  const Graph b = GenerateCopyModelWebGraph(options).MoveValue();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+// --------------------------------------------------------------- lognormal
+
+TEST(LogNormalTest, MeanDegreeTracksParameters) {
+  LogNormalDegreeOptions options;
+  options.num_vertices = 20000;
+  options.log_mean = 2.0;
+  options.log_stddev = 0.5;
+  options.reciprocal_p = 0.0;
+  options.seed = 3;
+  const Graph g = GenerateLogNormalDegreeGraph(options).MoveValue();
+  // E[lognormal(2.0, 0.5)] = exp(2.125) ~ 8.4; dedup trims slightly.
+  const DegreeStats out = ComputeOutDegreeStats(g);
+  EXPECT_NEAR(out.mean, 8.4, 1.5);
+}
+
+TEST(LogNormalTest, RejectsNegativeSigma) {
+  LogNormalDegreeOptions options;
+  options.log_stddev = -1.0;
+  EXPECT_TRUE(
+      GenerateLogNormalDegreeGraph(options).status().IsInvalidArgument());
+}
+
+TEST(LogNormalTest, Deterministic) {
+  LogNormalDegreeOptions options;
+  options.num_vertices = 2000;
+  options.seed = 4;
+  const Graph a = GenerateLogNormalDegreeGraph(options).MoveValue();
+  const Graph b = GenerateLogNormalDegreeGraph(options).MoveValue();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+// ------------------------------------------------------------- erdos-renyi
+
+TEST(ErdosRenyiTest, EdgeCountApproximatelyHonored) {
+  const Graph g = GenerateErdosRenyi({10000, 50000, 1}).MoveValue();
+  // Dedup removes a few collisions.
+  EXPECT_GT(g.num_edges(), 49000u);
+  EXPECT_LE(g.num_edges(), 50000u);
+}
+
+TEST(ErdosRenyiTest, NotScaleFree) {
+  const Graph g = GenerateErdosRenyi({20000, 160000, 2}).MoveValue();
+  EXPECT_FALSE(FitOutDegreePowerLaw(g, 2).plausible);
+}
+
+// ------------------------------------------------------------------- rmat
+
+TEST(RmatTest, VertexCountIsPowerOfTwo) {
+  const Graph g = GenerateRmat({10, 5000, 0.57, 0.19, 0.19, 1}).MoveValue();
+  EXPECT_EQ(g.num_vertices(), 1024u);
+}
+
+TEST(RmatTest, SkewedQuadrantsProduceHubs) {
+  const Graph g = GenerateRmat({14, 130000, 0.57, 0.19, 0.19, 3}).MoveValue();
+  const DegreeStats out = ComputeOutDegreeStats(g);
+  EXPECT_GT(out.max, 40 * std::max(1.0, out.mean));
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  EXPECT_TRUE(GenerateRmat({10, 100, 0.6, 0.3, 0.3, 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateRmat({0, 100, 0.5, 0.2, 0.2, 1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ------------------------------------------------------- small structures
+
+TEST(SmallGraphsTest, Chain) {
+  const Graph g = GenerateChain(5).MoveValue();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+}
+
+TEST(SmallGraphsTest, Complete) {
+  const Graph g = GenerateComplete(5).MoveValue();
+  EXPECT_EQ(g.num_edges(), 20u);
+}
+
+TEST(SmallGraphsTest, StarDirectedAndBidirectional) {
+  EXPECT_EQ(GenerateStar(5, false).MoveValue().num_edges(), 4u);
+  EXPECT_EQ(GenerateStar(5, true).MoveValue().num_edges(), 8u);
+}
+
+TEST(SmallGraphsTest, EmptyRejected) {
+  EXPECT_FALSE(GenerateChain(0).ok());
+  EXPECT_FALSE(GenerateComplete(0).ok());
+  EXPECT_FALSE(GenerateStar(0).ok());
+}
+
+// -------------------------------------------- parameterized shape sweeps
+
+struct ShapeCase {
+  VertexId num_vertices;
+  uint32_t out_degree;
+  uint64_t seed;
+};
+
+class PaShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(PaShapeSweep, ConnectedScaleFreeAndSized) {
+  const ShapeCase& c = GetParam();
+  PreferentialAttachmentOptions options;
+  options.num_vertices = c.num_vertices;
+  options.out_degree = c.out_degree;
+  options.seed = c.seed;
+  const Graph g = GeneratePreferentialAttachment(options).MoveValue();
+  EXPECT_EQ(g.num_vertices(), c.num_vertices);
+  EXPECT_DOUBLE_EQ(LargestComponentFraction(g), 1.0);
+  // Average out-degree at least the attachment parameter (reciprocal
+  // edges add more, dedup removes few).
+  const DegreeStats out = ComputeOutDegreeStats(g);
+  EXPECT_GT(out.mean, 0.8 * c.out_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PaShapeSweep,
+    ::testing::Values(ShapeCase{1000, 4, 1}, ShapeCase{1000, 4, 99},
+                      ShapeCase{5000, 8, 1}, ShapeCase{20000, 4, 7},
+                      ShapeCase{5000, 16, 3}));
+
+}  // namespace
+}  // namespace predict

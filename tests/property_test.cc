@@ -1,0 +1,182 @@
+// Property-style parameterized sweeps over the whole stack: counter
+// conservation laws in the engine, extrapolation identities, transform
+// round-trips, and predictor invariants across sampling ratios, worker
+// counts and seeds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/runner.h"
+#include "core/predictor.h"
+#include "core/transform.h"
+#include "graph/generators.h"
+
+namespace predict {
+namespace {
+
+// ----------------------------- engine counter conservation across workers
+
+class WorkerSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WorkerSweep, CounterConservationLaws) {
+  const uint32_t workers = GetParam();
+  const Graph g = GeneratePreferentialAttachment({4000, 6, 0.3, 17}).MoveValue();
+  bsp::EngineOptions options;
+  options.num_workers = workers;
+  options.num_threads = 0;
+  options.max_supersteps = 4;
+  PageRankProgram program(ResolveConfig(PageRankSpec(), {}).MoveValue());
+  bsp::Engine<PageRankValue, double> engine(options);
+  auto stats = engine.Run(g, &program);
+  ASSERT_TRUE(stats.ok());
+  for (const auto& step : stats->supersteps) {
+    const bsp::WorkerCounters totals = step.Totals();
+    // Every vertex is assigned exactly once.
+    EXPECT_EQ(totals.total_vertices, g.num_vertices());
+    // PageRank: every vertex computes every superstep; every edge carries
+    // exactly one message (no dangling vertices in PA graphs).
+    EXPECT_EQ(totals.active_vertices, g.num_vertices());
+    EXPECT_EQ(totals.total_messages(), g.num_edges());
+    // Bytes = 12 per message (the program's MessageBytes).
+    EXPECT_EQ(totals.total_message_bytes(), 12 * g.num_edges());
+    // With one worker nothing is remote; with W workers the expected
+    // remote fraction is (W-1)/W, so for W >= 4 remote dominates.
+    if (workers == 1) {
+      EXPECT_EQ(totals.remote_messages, 0u);
+    } else {
+      EXPECT_GT(totals.remote_messages, 0u);
+      if (workers >= 4) {
+        EXPECT_GT(totals.remote_messages, totals.local_messages);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep,
+                         ::testing::Values(1u, 2u, 7u, 29u, 64u));
+
+// --------------------------------------- extrapolation identity at sr = 1
+
+TEST(PropertyTest, FullSampleExtrapolationIsIdentity) {
+  const Graph g = GeneratePreferentialAttachment({2000, 5, 0.3, 19}).MoveValue();
+  auto factors = ComputeExtrapolationFactors(g, g);
+  ASSERT_TRUE(factors.ok());
+  EXPECT_DOUBLE_EQ(factors->vertex_factor, 1.0);
+  EXPECT_DOUBLE_EQ(factors->edge_factor, 1.0);
+  FeatureVector features{};
+  for (int i = 0; i < kNumFeatures; ++i) features[i] = i * 3.7;
+  const FeatureVector scaled = ExtrapolateFeatures(features, *factors);
+  for (int i = 0; i < kNumFeatures; ++i) {
+    EXPECT_DOUBLE_EQ(scaled[i], features[i]);
+  }
+}
+
+// ----------------------------- transform scaling is multiplicative in sr
+
+class TransformSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransformSweep, TauScalesExactlyByInverseRatio) {
+  const double ratio = GetParam();
+  const AlgorithmConfig config = {{"damping", 0.85}, {"tau", 3e-9}};
+  auto sample = DefaultTransform::Instance().Apply(PageRankSpec(), config, ratio);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_DOUBLE_EQ(sample->at("tau"), 3e-9 / ratio);
+  // Applying the inverse recovers the original.
+  EXPECT_NEAR(sample->at("tau") * ratio, 3e-9, 1e-24);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, TransformSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5, 1.0));
+
+// --------------------------------------------- predictor invariant sweeps
+
+struct PredictorCase {
+  double ratio;
+  uint64_t seed;
+};
+
+class PredictorSweep : public ::testing::TestWithParam<PredictorCase> {};
+
+TEST_P(PredictorSweep, ReportsAreWellFormed) {
+  const PredictorCase& c = GetParam();
+  const Graph g = GeneratePreferentialAttachment({12000, 6, 0.3, 23}).MoveValue();
+  PredictorOptions options;
+  options.sampler.sampling_ratio = c.ratio;
+  options.sampler.seed = c.seed;
+  options.engine.num_workers = 8;
+  Predictor predictor(options);
+  const AlgorithmConfig config = {
+      {"tau", 0.001 / static_cast<double>(g.num_vertices())}};
+  auto report = predictor.PredictRuntime("pagerank", g, "sweep", config);
+  ASSERT_TRUE(report.ok());
+
+  // Invariants that must hold at every ratio and seed:
+  EXPECT_GT(report->predicted_iterations, 0);
+  EXPECT_EQ(report->per_iteration_seconds.size(),
+            static_cast<size_t>(report->predicted_iterations));
+  for (const double s : report->per_iteration_seconds) EXPECT_GE(s, 0.0);
+  EXPECT_NEAR(report->realized_sampling_ratio, c.ratio, 0.01);
+  EXPECT_NEAR(report->factors.vertex_factor, 1.0 / c.ratio, 0.15 / c.ratio);
+  EXPECT_GE(report->factors.edge_factor, report->factors.vertex_factor);
+  // Extrapolated TotVert of iteration 0 equals the full graph's
+  // per-worker share (TotVert_S * eV = (V_S/W) * (V_G/V_S) = V_G/W).
+  const double tot_vert =
+      report->extrapolated_profile.iterations[0]
+          .critical_features[static_cast<int>(Feature::kTotVert)];
+  EXPECT_NEAR(tot_vert, static_cast<double>(g.num_vertices()) / 8.0,
+              static_cast<double>(g.num_vertices()) / 8.0 * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosAndSeeds, PredictorSweep,
+    ::testing::Values(PredictorCase{0.05, 1}, PredictorCase{0.05, 2},
+                      PredictorCase{0.10, 1}, PredictorCase{0.10, 2},
+                      PredictorCase{0.20, 1}, PredictorCase{0.25, 3}));
+
+// ------------------------------------------ sample run respects transform
+
+class SampleTauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SampleTauSweep, SampleRunUsesScaledThreshold) {
+  const double ratio = GetParam();
+  const Graph g = GeneratePreferentialAttachment({10000, 6, 0.3, 29}).MoveValue();
+  const double tau = 0.001 / static_cast<double>(g.num_vertices());
+  PredictorOptions options;
+  options.sampler.sampling_ratio = ratio;
+  options.engine.num_workers = 4;
+  Predictor predictor(options);
+  auto report = predictor.PredictRuntime("pagerank", g, "", {{"tau", tau}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->sample_config.at("tau"),
+              tau / report->realized_sampling_ratio, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, SampleTauSweep,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+// -------------------------------- per-iteration runtimes are predictions
+// for the *matching* iteration (variable-runtime algorithms)
+
+TEST(PropertyTest, PerIterationPredictionsTrackActualShape) {
+  // Connected components: first iterations heavy, tail light. The
+  // prediction vector must reproduce that decaying shape, not just the
+  // total (the paper's core claim for variable-runtime algorithms).
+  const Graph g = GeneratePreferentialAttachment({30000, 6, 0.3, 31}).MoveValue();
+  PredictorOptions options;
+  options.sampler.sampling_ratio = 0.15;
+  options.engine.num_workers = 8;
+  Predictor predictor(options);
+  auto report = predictor.PredictRuntime("connected_components", g, "", {});
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->per_iteration_seconds.size(), 3u);
+  // Superstep 0 floods all edges: it must be predicted as the (or near
+  // the) most expensive iteration; the last must be cheaper.
+  const double first = report->per_iteration_seconds.front();
+  const double last = report->per_iteration_seconds.back();
+  EXPECT_GT(first, last);
+}
+
+}  // namespace
+}  // namespace predict

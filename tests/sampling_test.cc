@@ -1,0 +1,211 @@
+// Tests for sampling/: RJ, BRJ, MHRW, FF and the sample-quality report.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "sampling/quality.h"
+#include "sampling/sampler.h"
+
+namespace predict {
+namespace {
+
+Graph ScaleFree(VertexId n = 20000, uint64_t seed = 5) {
+  return GeneratePreferentialAttachment({n, 8, 0.3, seed}).MoveValue();
+}
+
+SamplerOptions Options(SamplerKind kind, double ratio, uint64_t seed = 1) {
+  SamplerOptions options;
+  options.kind = kind;
+  options.sampling_ratio = ratio;
+  options.seed = seed;
+  return options;
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(SamplerTest, RejectsBadRatio) {
+  const Graph g = ScaleFree(1000);
+  EXPECT_TRUE(SampleVertices(g, Options(SamplerKind::kRandomJump, 0.0))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SampleVertices(g, Options(SamplerKind::kRandomJump, 1.5))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SamplerTest, RejectsEmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.Build().MoveValue();
+  EXPECT_TRUE(SampleVertices(g, Options(SamplerKind::kRandomJump, 0.1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SamplerTest, RejectsBadJumpProbability) {
+  const Graph g = ScaleFree(1000);
+  SamplerOptions options = Options(SamplerKind::kRandomJump, 0.1);
+  options.jump_probability = 2.0;
+  EXPECT_TRUE(SampleVertices(g, options).status().IsInvalidArgument());
+}
+
+TEST(SamplerTest, KindNames) {
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kRandomJump), "RJ");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kBiasedRandomJump), "BRJ");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kMetropolisHastingsRW), "MHRW");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kForestFire), "FF");
+}
+
+// ---------------------------------------------- ratio honored, all kinds
+
+class RatioSweep
+    : public ::testing::TestWithParam<std::tuple<SamplerKind, double>> {};
+
+TEST_P(RatioSweep, SampleSizeMatchesRatioAndIsDistinct) {
+  const auto [kind, ratio] = GetParam();
+  const Graph g = ScaleFree(10000);
+  auto vertices = SampleVertices(g, Options(kind, ratio));
+  ASSERT_TRUE(vertices.ok());
+  const uint64_t expected =
+      static_cast<uint64_t>(std::llround(ratio * 10000.0));
+  EXPECT_EQ(vertices->size(), expected);
+  std::set<VertexId> unique(vertices->begin(), vertices->end());
+  EXPECT_EQ(unique.size(), vertices->size());
+  for (const VertexId v : *vertices) EXPECT_LT(v, 10000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndRatios, RatioSweep,
+    ::testing::Combine(::testing::Values(SamplerKind::kRandomJump,
+                                         SamplerKind::kBiasedRandomJump,
+                                         SamplerKind::kMetropolisHastingsRW,
+                                         SamplerKind::kForestFire),
+                       ::testing::Values(0.01, 0.1, 0.25)));
+
+TEST(SamplerTest, FullRatioReturnsEveryVertex) {
+  const Graph g = ScaleFree(500);
+  auto vertices =
+      SampleVertices(g, Options(SamplerKind::kBiasedRandomJump, 1.0));
+  ASSERT_TRUE(vertices.ok());
+  EXPECT_EQ(vertices->size(), 500u);
+}
+
+TEST(SamplerTest, DeterministicForSeed) {
+  const Graph g = ScaleFree(5000);
+  auto a = SampleVertices(g, Options(SamplerKind::kBiasedRandomJump, 0.1, 3));
+  auto b = SampleVertices(g, Options(SamplerKind::kBiasedRandomJump, 0.1, 3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SamplerTest, DifferentSeedsDiffer) {
+  const Graph g = ScaleFree(5000);
+  auto a = SampleVertices(g, Options(SamplerKind::kRandomJump, 0.1, 3));
+  auto b = SampleVertices(g, Options(SamplerKind::kRandomJump, 0.1, 4));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+// ------------------------------------------------------------------- BRJ
+
+TEST(BrjTest, SeedsAreHighOutDegreeVertices) {
+  // Star graph: vertex 0 has out-degree n-1, everyone else 0. BRJ must
+  // start from vertex 0 and reach spokes; RJ may start anywhere.
+  const Graph g = GenerateStar(1000).MoveValue();
+  SamplerOptions options = Options(SamplerKind::kBiasedRandomJump, 0.05, 1);
+  options.seed_fraction = 0.001;  // exactly 1 seed = the hub
+  auto vertices = SampleVertices(g, options);
+  ASSERT_TRUE(vertices.ok());
+  EXPECT_EQ((*vertices)[0], 0u);  // the hub is the first pick
+}
+
+TEST(BrjTest, BetterConnectivityThanRjAtSmallRatios) {
+  // On a scale-free graph, hub-seeded samples should keep a larger
+  // connected fraction than uniform-restart samples.
+  const Graph g = ScaleFree(20000, 9);
+  double brj_lcc = 0.0, rj_lcc = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto brj = SampleGraph(g, Options(SamplerKind::kBiasedRandomJump, 0.05, seed));
+    auto rj = SampleGraph(g, Options(SamplerKind::kRandomJump, 0.05, seed));
+    ASSERT_TRUE(brj.ok());
+    ASSERT_TRUE(rj.ok());
+    brj_lcc += LargestComponentFraction(brj->subgraph);
+    rj_lcc += LargestComponentFraction(rj->subgraph);
+  }
+  EXPECT_GE(brj_lcc, rj_lcc);
+}
+
+// ----------------------------------------------------------- sample graph
+
+TEST(SampleGraphTest, InducedSubgraphAndRatio) {
+  const Graph g = ScaleFree(10000);
+  auto sample = SampleGraph(g, Options(SamplerKind::kBiasedRandomJump, 0.1));
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->subgraph.num_vertices(), 1000u);
+  EXPECT_NEAR(sample->realized_ratio, 0.1, 1e-9);
+  EXPECT_GT(sample->subgraph.num_edges(), 0u);
+  EXPECT_EQ(sample->vertices.size(), 1000u);
+}
+
+TEST(SampleGraphTest, SampleEdgesExistInOriginal) {
+  const Graph g = ScaleFree(2000);
+  auto sample = SampleGraph(g, Options(SamplerKind::kRandomJump, 0.2));
+  ASSERT_TRUE(sample.ok());
+  for (VertexId s = 0; s < sample->subgraph.num_vertices(); ++s) {
+    const VertexId orig_src = sample->vertices[s];
+    for (const VertexId t : sample->subgraph.out_neighbors(s)) {
+      const VertexId orig_dst = sample->vertices[t];
+      const auto neighbors = g.out_neighbors(orig_src);
+      EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), orig_dst),
+                neighbors.end());
+    }
+  }
+}
+
+TEST(SamplerTest, ChainDoesNotStarve) {
+  // Degenerate structure (§3.5): the walk starves, but the sampler must
+  // still honor the requested ratio via uniform fill.
+  const Graph g = GenerateChain(1000).MoveValue();
+  auto vertices = SampleVertices(g, Options(SamplerKind::kRandomJump, 0.2));
+  ASSERT_TRUE(vertices.ok());
+  EXPECT_EQ(vertices->size(), 200u);
+}
+
+// ---------------------------------------------------------------- quality
+
+TEST(QualityTest, IdenticalSampleScoresPerfectly) {
+  const Graph g = ScaleFree(2000);
+  Sample sample;
+  sample.vertices.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) sample.vertices[v] = v;
+  sample.subgraph = ScaleFree(2000);
+  sample.realized_ratio = 1.0;
+  const SampleQualityReport report = EvaluateSampleQuality(g, sample, 16);
+  EXPECT_NEAR(report.out_degree_d_statistic, 0.0, 1e-9);
+  EXPECT_NEAR(report.in_degree_d_statistic, 0.0, 1e-9);
+  EXPECT_NEAR(report.MeanDStatistic(), 0.0, 1e-9);
+}
+
+TEST(QualityTest, BrjSampleTracksDegreeShape) {
+  const Graph g = ScaleFree(20000);
+  auto sample = SampleGraph(g, Options(SamplerKind::kBiasedRandomJump, 0.1));
+  ASSERT_TRUE(sample.ok());
+  const SampleQualityReport report = EvaluateSampleQuality(g, *sample, 16);
+  // Loose bound: degree D-statistics under 0.5 for a reasonable sampler.
+  EXPECT_LT(report.MeanDStatistic(), 0.5);
+  EXPECT_GT(report.sample_largest_component, 0.3);
+}
+
+TEST(QualityTest, ToStringContainsFields) {
+  SampleQualityReport report;
+  report.out_degree_d_statistic = 0.25;
+  EXPECT_NE(report.ToString().find("D(out)=0.250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace predict

@@ -1,0 +1,218 @@
+// Tests for graph/stats: the sampling-quality property toolbox.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/stats.h"
+
+namespace predict {
+namespace {
+
+Graph Chain(VertexId n) { return GenerateChain(n).MoveValue(); }
+
+TEST(DegreeStatsTest, ChainOutDegrees) {
+  const Graph g = Chain(5);  // degrees: 1,1,1,1,0
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+TEST(DegreeStatsTest, StarInDegrees) {
+  const Graph g = GenerateStar(5).MoveValue();
+  const DegreeStats s = ComputeInDegreeStats(g);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);  // each spoke has in-degree 1
+  const DegreeStats out = ComputeOutDegreeStats(g);
+  EXPECT_DOUBLE_EQ(out.max, 4.0);  // the hub
+}
+
+TEST(DegreeStatsTest, GiniZeroForRegularGraph) {
+  const Graph g = GenerateComplete(6).MoveValue();
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+}
+
+TEST(DegreeStatsTest, GiniPositiveForSkewedGraph) {
+  const Graph g = GenerateStar(50).MoveValue();
+  const DegreeStats s = ComputeOutDegreeStats(g);
+  EXPECT_GT(s.gini, 0.9);
+}
+
+TEST(MeanInOutRatioTest, CompleteGraphBalanced) {
+  const Graph g = GenerateComplete(5).MoveValue();
+  // in=4, out=4 for all: ratio 4/5 per vertex.
+  EXPECT_NEAR(MeanInOutDegreeRatio(g), 4.0 / 5.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- WCC
+
+TEST(WccTest, SingleComponent) {
+  const Graph g = Chain(10);
+  EXPECT_EQ(CountWeaklyConnectedComponents(g), 1u);
+  EXPECT_DOUBLE_EQ(LargestComponentFraction(g), 1.0);
+}
+
+TEST(WccTest, TwoComponents) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  const Graph g = b.Build().MoveValue();  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(CountWeaklyConnectedComponents(g), 3u);
+  EXPECT_DOUBLE_EQ(LargestComponentFraction(g), 0.5);
+}
+
+TEST(WccTest, LabelsEqualWithinComponent) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);  // weak connectivity via reverse direction
+  b.AddEdge(3, 4);
+  const auto labels = WeaklyConnectedComponents(b.Build().MoveValue());
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(WccTest, IsolatedVerticesAreOwnComponents) {
+  GraphBuilder b(4);
+  const Graph g = b.Build().MoveValue();
+  EXPECT_EQ(CountWeaklyConnectedComponents(g), 4u);
+}
+
+// -------------------------------------------------------------- diameter
+
+TEST(EffectiveDiameterTest, ChainHasLargeDiameter) {
+  // In a 101-vertex path the 90th-percentile pairwise distance is large.
+  const double d = EffectiveDiameter(Chain(101), 0.9, 101, 1);
+  EXPECT_GT(d, 20.0);
+}
+
+TEST(EffectiveDiameterTest, CompleteGraphIsOne) {
+  const double d = EffectiveDiameter(GenerateComplete(20).MoveValue(), 0.9, 20, 1);
+  EXPECT_NEAR(d, 1.0, 0.2);
+}
+
+TEST(EffectiveDiameterTest, StarIsAboutTwo) {
+  const double d = EffectiveDiameter(GenerateStar(50).MoveValue(), 0.9, 50, 1);
+  EXPECT_GT(d, 1.0);
+  EXPECT_LE(d, 2.0);
+}
+
+TEST(EffectiveDiameterTest, DeterministicForFixedSeed) {
+  const Graph g = GeneratePreferentialAttachment({2000, 4, 0.3, 5}).MoveValue();
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(g, 0.9, 16, 7),
+                   EffectiveDiameter(g, 0.9, 16, 7));
+}
+
+TEST(EffectiveDiameterTest, EmptyGraphIsZero) {
+  GraphBuilder b(3);
+  EXPECT_DOUBLE_EQ(EffectiveDiameter(b.Build().MoveValue()), 0.0);
+}
+
+// ------------------------------------------------------------ clustering
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  GraphBuilder b(3);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  b.AddUndirectedEdge(0, 2);
+  EXPECT_NEAR(AverageClusteringCoefficient(b.Build().MoveValue(), 100), 1.0,
+              1e-9);
+}
+
+TEST(ClusteringTest, ChainHasNoTriangles) {
+  EXPECT_NEAR(AverageClusteringCoefficient(Chain(20), 100), 0.0, 1e-9);
+}
+
+TEST(ClusteringTest, CompleteGraphFullyClustered) {
+  EXPECT_NEAR(AverageClusteringCoefficient(GenerateComplete(8).MoveValue(), 100),
+              1.0, 1e-9);
+}
+
+TEST(ClusteringTest, DirectionIgnored) {
+  // A directed triangle is a triangle for clustering purposes.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  EXPECT_NEAR(AverageClusteringCoefficient(b.Build().MoveValue(), 100), 1.0,
+              1e-9);
+}
+
+// -------------------------------------------------------------------- KS
+
+TEST(KsTest, IdenticalSamplesHaveZeroDistance) {
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovD({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(KsTest, DisjointSamplesHaveDistanceOne) {
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovD({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KsTest, HalfShiftedSamples) {
+  // {1,2} vs {2,3}: ECDFs differ by at most 0.5.
+  EXPECT_NEAR(KolmogorovSmirnovD({1, 2}, {2, 3}), 0.5, 1e-9);
+}
+
+TEST(KsTest, EmptySampleIsMaximallyDistant) {
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovD({}, {1.0}), 1.0);
+}
+
+TEST(KsTest, SymmetricInArguments) {
+  const std::vector<double> a = {1, 5, 7, 9}, b = {2, 5, 6};
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovD(a, b), KolmogorovSmirnovD(b, a));
+}
+
+TEST(KsTest, SameDistributionLowDistance) {
+  // Two large samples from the same generator have small D.
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(i % 97);
+    b.push_back((i * 13) % 97);
+  }
+  EXPECT_LT(KolmogorovSmirnovD(a, b), 0.05);
+}
+
+// -------------------------------------------------------------- powerlaw
+
+TEST(PowerLawTest, PreferentialAttachmentIsPlausible) {
+  const Graph g =
+      GeneratePreferentialAttachment({30000, 8, 0.4, 3}).MoveValue();
+  const PowerLawFit fit = FitOutDegreePowerLaw(g);
+  EXPECT_TRUE(fit.plausible) << "R2=" << fit.r_squared
+                             << " curv=" << fit.curvature;
+  EXPECT_LT(fit.exponent, -0.5);
+}
+
+TEST(PowerLawTest, LogNormalGraphIsNotPlausible) {
+  LogNormalDegreeOptions options;
+  options.num_vertices = 30000;
+  options.log_mean = 2.3;
+  options.log_stddev = 0.7;
+  options.reciprocal_p = 0.1;
+  options.seed = 3;
+  const Graph g = GenerateLogNormalDegreeGraph(options).MoveValue();
+  const PowerLawFit fit = FitOutDegreePowerLaw(g);
+  EXPECT_FALSE(fit.plausible) << "R2=" << fit.r_squared
+                              << " curv=" << fit.curvature;
+  EXPECT_LT(fit.curvature, -0.3);  // log-normal signature: concave ccdf
+}
+
+TEST(PowerLawTest, RegularGraphHasTooFewTailPoints) {
+  const Graph g = GenerateComplete(50).MoveValue();
+  const PowerLawFit fit = FitOutDegreePowerLaw(g);
+  EXPECT_FALSE(fit.plausible);
+}
+
+TEST(DescribeGraphTest, MentionsKeyNumbers) {
+  const Graph g = Chain(10);
+  const std::string desc = DescribeGraph(g);
+  EXPECT_NE(desc.find("|V|=10"), std::string::npos);
+  EXPECT_NE(desc.find("|E|=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace predict

@@ -1,0 +1,376 @@
+// predict_cli — command-line driver for the PREDIcT library.
+//
+//   predict_cli datasets
+//   predict_cli describe  (--dataset NAME | --graph FILE) [--scale S]
+//   predict_cli sample    (--dataset NAME | --graph FILE) [--ratio R]
+//                         [--method BRJ|RJ|MHRW|FF] [--seed N]
+//   predict_cli run       --algorithm A (--dataset NAME | --graph FILE)
+//                         [--config k=v]... [--workers N]
+//   predict_cli predict   --algorithm A (--dataset NAME | --graph FILE)
+//                         [--ratio R] [--config k=v]... [--workers N]
+//                         [--history FILE] [--save-history FILE]
+//                         [--verify]
+//   predict_cli bound     --epsilon E [--damping D]
+//
+// Graph files: edge-list text ("src dst [weight]") or PRDG binary.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/runner.h"
+#include "common/strings.h"
+#include "core/bounds.h"
+#include "core/history.h"
+#include "core/predictor.h"
+#include "datasets/datasets.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "sampling/quality.h"
+
+namespace {
+
+using namespace predict;
+
+// ------------------------------------------------------------ flag parsing
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> config_pairs;  // repeated --config k=v
+  bool ok = true;
+  std::string error;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.ok = false;
+      flags.error = "unexpected argument '" + arg + "'";
+      return flags;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      value = argv[++i];
+    } else if (arg != "verify") {
+      flags.ok = false;
+      flags.error = "flag --" + arg + " needs a value";
+      return flags;
+    }
+    if (arg == "config") {
+      flags.config_pairs.push_back(value);
+    } else {
+      flags.values[arg] = value;
+    }
+  }
+  return flags;
+}
+
+std::string GetFlag(const Flags& flags, const std::string& name,
+                    const std::string& fallback = "") {
+  const auto it = flags.values.find(name);
+  return it == flags.values.end() ? fallback : it->second;
+}
+
+Result<AlgorithmConfig> ParseConfigPairs(const std::vector<std::string>& pairs) {
+  AlgorithmConfig config;
+  for (const std::string& pair : pairs) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--config expects k=v, got '" + pair + "'");
+    }
+    config[pair.substr(0, eq)] = std::atof(pair.c_str() + eq + 1);
+  }
+  return config;
+}
+
+// ------------------------------------------------------------- graph input
+
+Result<Graph> LoadInputGraph(const Flags& flags) {
+  const std::string dataset = GetFlag(flags, "dataset");
+  const std::string file = GetFlag(flags, "graph");
+  const double scale = std::atof(GetFlag(flags, "scale", "1.0").c_str());
+  if (!dataset.empty() && !file.empty()) {
+    return Status::InvalidArgument("pass either --dataset or --graph, not both");
+  }
+  if (!dataset.empty()) return MakeDataset(dataset, scale);
+  if (!file.empty()) {
+    // Sniff the PRDG magic; fall back to edge-list text.
+    FILE* f = std::fopen(file.c_str(), "rb");
+    if (f != nullptr) {
+      char magic[4] = {0};
+      const size_t got = std::fread(magic, 1, 4, f);
+      std::fclose(f);
+      if (got == 4 && std::memcmp(magic, "PRDG", 4) == 0) {
+        return ReadBinaryGraphFile(file);
+      }
+    }
+    return ReadEdgeListFile(file);
+  }
+  return Status::InvalidArgument("need --dataset NAME or --graph FILE");
+}
+
+SamplerKind ParseSamplerKind(const std::string& name) {
+  if (name == "RJ") return SamplerKind::kRandomJump;
+  if (name == "MHRW") return SamplerKind::kMetropolisHastingsRW;
+  if (name == "FF") return SamplerKind::kForestFire;
+  return SamplerKind::kBiasedRandomJump;
+}
+
+bsp::EngineOptions EngineFromFlags(const Flags& flags) {
+  bsp::EngineOptions engine = PaperClusterOptions();
+  const std::string workers = GetFlag(flags, "workers");
+  if (!workers.empty()) engine.num_workers = std::atoi(workers.c_str());
+  return engine;
+}
+
+// --------------------------------------------------------------- commands
+
+int CmdDatasets() {
+  std::printf("%-6s %-10s %-12s %-11s %s\n", "name", "#nodes", "~#edges",
+              "scale-free", "description");
+  for (const DatasetInfo& info : PaperDatasets()) {
+    std::printf("%-6s %-10u %-12llu %-11s %s\n", info.name.c_str(),
+                info.num_vertices,
+                static_cast<unsigned long long>(info.approx_edges),
+                info.scale_free ? "yes" : "no", info.description.c_str());
+  }
+  return 0;
+}
+
+int CmdDescribe(const Flags& flags) {
+  auto graph = LoadInputGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", DescribeGraph(*graph).c_str());
+  std::printf("effective diameter (90%%): %.2f\n",
+              EffectiveDiameter(*graph, 0.9, 32));
+  std::printf("clustering coefficient:   %.4f\n",
+              AverageClusteringCoefficient(*graph, 1000));
+  std::printf("weakly connected comps:   %llu\n",
+              static_cast<unsigned long long>(
+                  CountWeaklyConnectedComponents(*graph)));
+  return 0;
+}
+
+int CmdSample(const Flags& flags) {
+  auto graph = LoadInputGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  SamplerOptions options;
+  options.kind = ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
+  options.sampling_ratio = std::atof(GetFlag(flags, "ratio", "0.1").c_str());
+  options.seed = std::strtoull(GetFlag(flags, "seed", "42").c_str(), nullptr, 10);
+  auto sample = SampleGraph(*graph, options);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("method %s, ratio %.3f: sample %s\n",
+              SamplerKindName(options.kind), sample->realized_ratio,
+              sample->subgraph.ToString().c_str());
+  const SampleQualityReport quality = EvaluateSampleQuality(*graph, *sample);
+  std::printf("quality: %s\n", quality.ToString().c_str());
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  auto graph = LoadInputGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string algorithm = GetFlag(flags, "algorithm");
+  auto config = ParseConfigPairs(flags.config_pairs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  RunOptions options;
+  options.engine = EngineFromFlags(flags);
+  options.config_overrides = *config;
+  auto result = RunAlgorithmByName(algorithm, *graph, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const bsp::RunStats& stats = result->stats;
+  std::printf("%s on %s: %d supersteps (%s)\n", algorithm.c_str(),
+              graph->ToString().c_str(), stats.num_supersteps(),
+              bsp::HaltReasonName(stats.halt_reason));
+  std::printf("phases: setup %s, read %s, supersteps %s, write %s\n",
+              FormatSeconds(stats.setup_seconds).c_str(),
+              FormatSeconds(stats.read_seconds).c_str(),
+              FormatSeconds(stats.superstep_phase_seconds).c_str(),
+              FormatSeconds(stats.write_seconds).c_str());
+  std::printf("total %s simulated (%s wall), peak memory %s\n",
+              FormatSeconds(stats.total_seconds).c_str(),
+              FormatSeconds(stats.wall_seconds).c_str(),
+              FormatBytes(stats.peak_memory_bytes).c_str());
+  for (const auto& step : stats.supersteps) {
+    const bsp::WorkerCounters totals = step.Totals();
+    std::printf("  superstep %2d: %s, %llu msgs (%s), %llu active\n",
+                step.superstep, FormatSeconds(step.simulated_seconds).c_str(),
+                static_cast<unsigned long long>(totals.total_messages()),
+                FormatBytes(totals.total_message_bytes()).c_str(),
+                static_cast<unsigned long long>(totals.active_vertices));
+  }
+  return 0;
+}
+
+int CmdPredict(const Flags& flags) {
+  auto graph = LoadInputGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string algorithm = GetFlag(flags, "algorithm");
+  auto config = ParseConfigPairs(flags.config_pairs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  PredictorOptions options;
+  options.sampler.kind = ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
+  options.sampler.sampling_ratio =
+      std::atof(GetFlag(flags, "ratio", "0.1").c_str());
+  options.sampler.seed =
+      std::strtoull(GetFlag(flags, "seed", "42").c_str(), nullptr, 10);
+  options.engine = EngineFromFlags(flags);
+
+  std::unique_ptr<HistoryStore> history;
+  const std::string history_file = GetFlag(flags, "history");
+  if (!history_file.empty()) {
+    auto loaded = HistoryStore::LoadFromFile(history_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    history = std::make_unique<HistoryStore>(std::move(loaded).MoveValue());
+    options.history = history.get();
+    std::printf("loaded %zu historical profiles from %s\n", history->size(),
+                history_file.c_str());
+  }
+
+  Predictor predictor(options);
+  const std::string dataset_label = GetFlag(flags, "dataset", "input");
+  auto report =
+      predictor.PredictRuntime(algorithm, *graph, dataset_label, *config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PREDIcT %s on %s (%s sample, ratio %.3f)\n", algorithm.c_str(),
+              graph->ToString().c_str(), SamplerKindName(options.sampler.kind),
+              report->realized_sampling_ratio);
+  std::printf("  transform:            %s\n",
+              report->transform_description.c_str());
+  std::printf("  predicted iterations: %d\n", report->predicted_iterations);
+  std::printf("  predicted runtime:    %s (superstep phase)\n",
+              FormatSeconds(report->predicted_superstep_seconds).c_str());
+  std::printf("  cost model:           %s\n",
+              report->cost_model.ToString().c_str());
+  std::printf("  sample-run overhead:  %s simulated, %s wall\n",
+              FormatSeconds(report->sample_total_seconds).c_str(),
+              FormatSeconds(report->sample_wall_seconds).c_str());
+
+  if (flags.values.count("verify") != 0) {
+    RunOptions run_options;
+    run_options.engine = options.engine;
+    run_options.config_overrides = *config;
+    auto actual = RunAlgorithmByName(algorithm, *graph, run_options);
+    if (!actual.ok()) {
+      std::fprintf(stderr, "verification run failed: %s\n",
+                   actual.status().ToString().c_str());
+      return 1;
+    }
+    const PredictionEvaluation eval = EvaluatePrediction(*report, actual->stats);
+    std::printf("verification: actual %d iterations, %s; errors: iterations "
+                "%+.1f%%, runtime %+.1f%%\n",
+                eval.actual_iterations,
+                FormatSeconds(eval.actual_superstep_seconds).c_str(),
+                100.0 * eval.iterations_error, 100.0 * eval.runtime_error);
+
+    const std::string save = GetFlag(flags, "save-history");
+    if (!save.empty()) {
+      HistoryStore store;
+      if (!history_file.empty() && history != nullptr) store = *history;
+      store.Add(ProfileFromRunStats(algorithm, dataset_label,
+                                    graph->num_vertices(), graph->num_edges(),
+                                    actual->stats));
+      const Status saved = store.SaveToFile(save);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved %zu profiles to %s\n", store.size(), save.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdBound(const Flags& flags) {
+  const double epsilon = std::atof(GetFlag(flags, "epsilon", "0.001").c_str());
+  const double damping = std::atof(GetFlag(flags, "damping", "0.85").c_str());
+  auto bound = PageRankIterationUpperBound(epsilon, damping);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Langville-Meyer PageRank bound (eps=%g, d=%g): %.1f iterations\n",
+              epsilon, damping, *bound);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: predict_cli <command> [flags]\n"
+      "commands:\n"
+      "  datasets   list built-in datasets\n"
+      "  describe   (--dataset N | --graph F) [--scale S]\n"
+      "  sample     (--dataset N | --graph F) [--ratio R] [--method BRJ|RJ|MHRW|FF]\n"
+      "  run        --algorithm A (--dataset N | --graph F) [--config k=v]...\n"
+      "  predict    --algorithm A (--dataset N | --graph F) [--ratio R]\n"
+      "             [--config k=v]... [--history F] [--verify] [--save-history F]\n"
+      "  bound      --epsilon E [--damping D]\n"
+      "algorithms:");
+  for (const auto& name : RegisteredAlgorithmNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok) {
+    std::fprintf(stderr, "%s\n", flags.error.c_str());
+    return 2;
+  }
+  if (command == "datasets") return CmdDatasets();
+  if (command == "describe") return CmdDescribe(flags);
+  if (command == "sample") return CmdSample(flags);
+  if (command == "run") return CmdRun(flags);
+  if (command == "predict") return CmdPredict(flags);
+  if (command == "bound") return CmdBound(flags);
+  return Usage();
+}
