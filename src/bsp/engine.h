@@ -8,8 +8,16 @@
 // workers whose Table-1 counters drive the simulated cost clock
 // (bsp/cost_profile.h) and the simulated memory model.
 //
+// The hot path is allocation-free in steady state: messages flow through
+// per-worker chunked arenas that are bucket-sorted into contiguous
+// CSR-style slabs at the superstep barrier (bsp/message_store.h), and
+// each superstep touches only O(active + messaged) vertices via
+// per-worker worklists (bsp/worklist.h) instead of scanning all |V|.
+//
 // Host threads only accelerate the simulation — simulated time, counters
-// and results are bit-identical for any thread count.
+// and results are bit-identical for any thread count. Per vertex,
+// messages are delivered ordered by sender worker ascending and, within
+// one sender, by send-call order.
 
 #ifndef PREDICT_BSP_ENGINE_H_
 #define PREDICT_BSP_ENGINE_H_
@@ -24,8 +32,10 @@
 #include "bsp/aggregators.h"
 #include "bsp/cost_profile.h"
 #include "bsp/counters.h"
+#include "bsp/message_store.h"
 #include "bsp/thread_pool.h"
 #include "bsp/vertex_program.h"
+#include "bsp/worklist.h"
 #include "common/result.h"
 #include "graph/graph.h"
 
@@ -81,16 +91,8 @@ class EngineState {
  private:
   friend class VertexContext<V, M>;
 
-  struct OutMessage {
-    VertexId target;
-    M payload;
-  };
-
-  WorkerId WorkerOf(VertexId v) const { return v % num_workers_; }
-
   void ComputeWorker(WorkerId w);
-  void DeliverToWorker(WorkerId w);
-  uint64_t StateBytesOfWorker(WorkerId w) const;
+  void BarrierForWorker(WorkerId w);
 
   const Graph* graph_;
   VertexProgram<V, M>* program_;
@@ -101,10 +103,14 @@ class EngineState {
   int superstep_ = 0;
   std::vector<V> values_;
   std::vector<uint8_t> active_;
-  std::vector<std::vector<M>> inbox_cur_;
-  std::vector<std::vector<M>> inbox_next_;
-  std::vector<std::vector<OutMessage>> outbox_;  // [sender * W + dest]
+  MessageStore<M> messages_;
+  std::vector<WorkerWorklist> worklists_;  // [worker]
   std::vector<WorkerCounters> counters_;
+  /// Simulated vertex-state bytes per worker, maintained incrementally:
+  /// updated only for vertices whose value was written this superstep
+  /// (VertexContext::value() marks the write) instead of re-walking all
+  /// owned vertices at every barrier.
+  std::vector<uint64_t> state_bytes_;
 
   std::vector<AggregatorOp> agg_ops_;
   std::vector<std::string> agg_names_;
@@ -115,41 +121,30 @@ class EngineState {
 
 template <typename V, typename M>
 void EngineState<V, M>::ComputeWorker(WorkerId w) {
-  const uint64_t n = graph_->num_vertices();
   WorkerCounters& counters = counters_[w];
-  for (uint64_t v = w; v < n; v += num_workers_) {
-    const VertexId vid = static_cast<VertexId>(v);
-    std::vector<M>& inbox = inbox_cur_[vid];
-    if (!active_[vid] && inbox.empty()) continue;
+  WorkerWorklist& worklist = worklists_[w];
+  worklist.BeginSuperstep();
+  // Worklist membership == active or messaged, so every entry computes.
+  counters.active_vertices += worklist.current().size();
+  for (const VertexId vid : worklist.current()) {
     active_[vid] = 1;  // receipt of a message reactivates (Pregel rule)
-    counters.active_vertices++;
     VertexContext<V, M> ctx(this, w, vid);
-    program_->Compute(&ctx, std::span<const M>(inbox.data(), inbox.size()));
-    // Release the mailbox eagerly; transient early-superstep bursts (e.g.
-    // connected components) would otherwise pin capacity for the whole run.
-    std::vector<M>().swap(inbox);
-  }
-}
-
-template <typename V, typename M>
-void EngineState<V, M>::DeliverToWorker(WorkerId w) {
-  for (WorkerId sender = 0; sender < num_workers_; ++sender) {
-    std::vector<OutMessage>& box = outbox_[sender * num_workers_ + w];
-    for (OutMessage& out : box) {
-      inbox_next_[out.target].push_back(std::move(out.payload));
+    program_->Compute(&ctx, messages_.MessagesFor(w, vid));
+    if (ctx.value_dirty_) {
+      // ctx captured the pre-write size at the program's first mutable
+      // value() access; unsigned wrap-around keeps negative deltas exact.
+      state_bytes_[w] +=
+          program_->VertexStateBytes(values_[vid]) - ctx.pre_state_bytes_;
     }
-    box.clear();
+    if (active_[vid]) worklist.AddSurvivor(vid);
   }
 }
 
 template <typename V, typename M>
-uint64_t EngineState<V, M>::StateBytesOfWorker(WorkerId w) const {
-  const uint64_t n = graph_->num_vertices();
-  uint64_t bytes = 0;
-  for (uint64_t v = w; v < n; v += num_workers_) {
-    bytes += program_->VertexStateBytes(values_[v]);
-  }
-  return bytes;
+void EngineState<V, M>::BarrierForWorker(WorkerId w) {
+  WorkerWorklist& worklist = worklists_[w];
+  messages_.BuildIncomingSlab(w, worklist.messaged());
+  worklist.Rebuild();
 }
 
 template <typename V, typename M>
@@ -182,18 +177,25 @@ Result<RunStats> EngineState<V, M>::Run() {
     agg_prev_[i] = AggregatorIdentity(agg_ops_[i]);
   }
 
-  // State initialization ("setup" + "read" phases of §2.2).
+  // State initialization ("setup" + "read" phases of §2.2). Superstep 0
+  // computes every vertex, so each worklist seeds with all owned
+  // vertices; the state-bytes accumulators start from the initial values.
   values_.resize(n);
   active_.assign(n, 1);
-  inbox_cur_.resize(n);
-  inbox_next_.resize(n);
-  outbox_.resize(static_cast<size_t>(num_workers_) * num_workers_);
+  messages_.Init(num_workers_, n);
+  worklists_.clear();
+  worklists_.resize(num_workers_);
+  state_bytes_.assign(num_workers_, 0);
   counters_.assign(num_workers_, WorkerCounters{});
   agg_partial_.assign(num_workers_, {});
   pool_->ParallelFor(num_workers_, [&](uint64_t w) {
+    worklists_[w].SeedAllOwned(static_cast<WorkerId>(w), num_workers_, n);
+    uint64_t bytes = 0;
     for (uint64_t v = w; v < n; v += num_workers_) {
       values_[v] = program_->InitialValue(static_cast<VertexId>(v), *graph_);
+      bytes += program_->VertexStateBytes(values_[v]);
     }
+    state_bytes_[w] = bytes;
   });
 
   const uint64_t graph_bytes = graph_->MemoryFootprintBytes();
@@ -223,9 +225,10 @@ Result<RunStats> EngineState<V, M>::Run() {
       agg_reduced_[i] = value;
     }
 
-    // Messaging phase: deliver into next-superstep mailboxes.
+    // Messaging phase: bucket-sort outboxes into each worker's incoming
+    // slab and rebuild the next worklists (active ∪ messaged).
     pool_->ParallelFor(num_workers_,
-                       [&](uint64_t w) { DeliverToWorker(static_cast<WorkerId>(w)); });
+                       [&](uint64_t w) { BarrierForWorker(static_cast<WorkerId>(w)); });
 
     // Superstep accounting.
     SuperstepStats step;
@@ -240,13 +243,7 @@ Result<RunStats> EngineState<V, M>::Run() {
     // Memory model: graph + vertex state + messages buffered for the next
     // superstep (payload + envelope).
     uint64_t state_bytes = 0;
-    {
-      std::vector<uint64_t> per_worker_state(num_workers_, 0);
-      pool_->ParallelFor(num_workers_, [&](uint64_t w) {
-        per_worker_state[w] = StateBytesOfWorker(static_cast<WorkerId>(w));
-      });
-      for (const uint64_t b : per_worker_state) state_bytes += b;
-    }
+    for (const uint64_t b : state_bytes_) state_bytes += b;
     const WorkerCounters totals = step.Totals();
     const uint64_t message_bytes =
         totals.total_message_bytes() +
@@ -266,9 +263,13 @@ Result<RunStats> EngineState<V, M>::Run() {
           " bytes (Giraph cannot spill messages to disk)");
     }
 
-    // Master compute + halting checks.
+    // Master compute + halting checks. A vertex is active after the
+    // superstep iff it computed and did not vote to halt, i.e. iff it is
+    // in some worker's survivor list.
     uint64_t active_count = 0;
-    for (uint64_t v = 0; v < n; ++v) active_count += active_[v];
+    for (const WorkerWorklist& worklist : worklists_) {
+      active_count += worklist.num_survivors();
+    }
 
     MasterContext master(superstep_, n, agg_reduced_, active_count,
                          totals.total_messages());
@@ -282,17 +283,16 @@ Result<RunStats> EngineState<V, M>::Run() {
       break;
     }
 
-    std::swap(inbox_cur_, inbox_next_);
     agg_prev_ = agg_reduced_;
   }
 
   stats.halt_reason = halt_reason;
 
   // Write phase: the output graph (vertex states) goes back to HDFS.
+  // The incremental accumulators already hold the exact per-worker
+  // sums, so no O(|V|) VertexStateBytes walk is needed.
   uint64_t out_bytes = 0;
-  for (uint64_t v = 0; v < n; ++v) {
-    out_bytes += program_->VertexStateBytes(values_[v]);
-  }
+  for (const uint64_t b : state_bytes_) out_bytes += b;
   stats.write_seconds = options_.cost_profile.WriteSeconds(out_bytes);
   stats.total_seconds = stats.setup_seconds + stats.read_seconds +
                         stats.superstep_phase_seconds + stats.write_seconds;
@@ -357,6 +357,15 @@ inline uint64_t VertexContext<V, M>::num_vertices() const {
 
 template <typename V, typename M>
 inline V& VertexContext<V, M>::value() {
+  // Conservatively marks the state as written so the engine refreshes
+  // this vertex's contribution to the simulated memory model; the size
+  // before the first (potential) write is captured here, which keeps
+  // vertices that never take a mutable reference entirely free of
+  // VertexStateBytes calls.
+  if (!value_dirty_) {
+    value_dirty_ = true;
+    pre_state_bytes_ = engine_->program_->VertexStateBytes(engine_->values_[id_]);
+  }
   return engine_->values_[id_];
 }
 
@@ -388,7 +397,9 @@ inline bool VertexContext<V, M>::graph_is_weighted() const {
 template <typename V, typename M>
 inline void VertexContext<V, M>::SendMessage(VertexId target, M message) {
   auto* engine = engine_;
-  const WorkerId dest_worker = engine->WorkerOf(target);
+  const internal::FastDiv& divider = engine->messages_.divider();
+  const uint32_t target_local = divider.Div(target);
+  const WorkerId dest_worker = target - target_local * divider.divisor();
   const uint64_t bytes = engine->program_->MessageBytes(message);
   WorkerCounters& counters = engine->counters_[worker_];
   if (dest_worker == worker_) {
@@ -398,15 +409,33 @@ inline void VertexContext<V, M>::SendMessage(VertexId target, M message) {
     counters.remote_messages++;
     counters.remote_message_bytes += bytes;
   }
-  engine->outbox_[worker_ * engine->num_workers_ + dest_worker].push_back(
-      {target, std::move(message)});
+  engine->messages_.Append(worker_, dest_worker, target_local,
+                           std::move(message));
 }
 
 template <typename V, typename M>
 inline void VertexContext<V, M>::SendMessageToAllNeighbors(const M& message) {
+  // Identical copies share one MessageBytes sizing (the oracle is a pure
+  // function of the message value), saving a virtual call per edge in
+  // broadcast-style programs.
+  auto* engine = engine_;
+  const internal::FastDiv divider = engine->messages_.divider();  // by value
+  const uint64_t bytes = engine->program_->MessageBytes(message);
+  auto* const row = engine->messages_.SenderRow(worker_);
+  const WorkerId self = worker_;
+  uint64_t local = 0;
   for (const VertexId target : out_neighbors()) {
-    SendMessage(target, message);
+    const uint32_t target_local = divider.Div(target);
+    const WorkerId dest_worker = target - target_local * divider.divisor();
+    local += (dest_worker == self);
+    row[dest_worker].PushBack(target_local, M(message));
   }
+  const uint64_t remote = out_neighbors().size() - local;
+  WorkerCounters& counters = engine->counters_[worker_];
+  counters.local_messages += local;
+  counters.local_message_bytes += local * bytes;
+  counters.remote_messages += remote;
+  counters.remote_message_bytes += remote * bytes;
 }
 
 template <typename V, typename M>

@@ -1,0 +1,310 @@
+// Flat message substrate for the BSP engine.
+//
+// The engine used to keep a std::vector<M> mailbox per vertex, which
+// costs one heap allocation per messaged vertex per superstep and
+// scatters the inbox of a worker across the heap. This store replaces
+// that with two allocation-free-in-steady-state structures:
+//
+//  * Outboxes: one append-only chunked arena per (sender worker, dest
+//    worker). SendMessage appends to the sender's arena with no locking
+//    (each arena is written by exactly one worker) and no reallocation
+//    copies (chunks are stable once allocated, and are retained across
+//    supersteps).
+//
+//  * Incoming slabs: at the superstep barrier each destination worker
+//    bucket-sorts everything queued for it into one contiguous
+//    CSR-style (offsets, payload) slab, so Compute reads a vertex's
+//    inbox as a contiguous std::span with zero per-vertex allocation.
+//
+// Delivery order is the engine's determinism contract: per vertex,
+// messages appear ordered by sender worker ascending, and within one
+// sender by send-call order. The bucket sort below is a stable two-pass
+// counting sort over the senders in ascending order, which preserves
+// exactly that order for any host thread count.
+//
+// The slab's per-vertex offset entries are epoch-stamped so that only
+// O(messaged vertices) entries are touched per superstep: a stale entry
+// from an earlier superstep simply fails the stamp check and reads as
+// an empty inbox. Nothing here scans all owned vertices.
+
+#ifndef PREDICT_BSP_MESSAGE_STORE_H_
+#define PREDICT_BSP_MESSAGE_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bsp/counters.h"
+#include "graph/graph.h"
+
+namespace predict::bsp::internal {
+
+/// Division/modulo by a runtime constant via a precomputed magic
+/// multiply (Lemire's round-up method; exact for all 32-bit
+/// numerators). Vertex partitioning divides by num_workers on every
+/// send and every inbox lookup, so a hardware divide here is measurable.
+class FastDiv {
+ public:
+  FastDiv() = default;
+  explicit FastDiv(uint32_t divisor)
+      : divisor_(divisor),
+        magic_(divisor > 1 ? ~uint64_t{0} / divisor + 1 : 0) {}
+
+  uint32_t divisor() const { return divisor_; }
+
+  uint32_t Div(uint32_t v) const {
+    if (divisor_ == 1) return v;
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(magic_) * v) >> 64);
+  }
+
+  uint32_t Mod(uint32_t v) const { return v - Div(v) * divisor_; }
+
+ private:
+  uint32_t divisor_ = 1;
+  uint64_t magic_ = 0;
+};
+
+/// \brief Per-worker mailbox arenas + barrier-time CSR slabs for one run.
+///
+/// Vertices are hash-partitioned (owner = v % num_workers); within a
+/// worker a vertex is addressed by its local index v / num_workers.
+/// Offsets are 32-bit: a single worker receiving >= 2^32 messages in one
+/// superstep would first exhaust the simulated memory model by orders of
+/// magnitude.
+template <typename M>
+class MessageStore {
+ public:
+  /// One queued message: the target's local index on its destination
+  /// worker (precomputed at send time, so the barrier-time bucket sort
+  /// does no divisions) plus the payload.
+  struct OutMessage {
+    uint32_t target_local;
+    M payload;
+  };
+
+  /// One (sender, dest) mailbox: append-only storage in fixed-size
+  /// chunks. Unlike std::vector, growth never moves existing elements,
+  /// and Clear() keeps both the chunks and the payload elements' own
+  /// heap capacity (message types with heap payloads, e.g.
+  /// semi-clustering's cluster lists, are re-assigned in place next
+  /// superstep). Single-writer; readers only run at phase barriers.
+  /// The hot append is a single predictable branch plus one store.
+  class Outbox {
+   public:
+    static constexpr size_t kChunkSize = 1024;
+
+    void PushBack(uint32_t target_local, M payload) {
+      if (tail_left_ == 0) AdvanceChunk();
+      *tail_++ = {target_local, std::move(payload)};
+      --tail_left_;
+      ++size_;
+    }
+
+    uint64_t size() const { return size_; }
+
+    /// Logically empties the mailbox; chunk storage (and the payload
+    /// elements' own heap capacity) is retained.
+    void Clear() {
+      size_ = 0;
+      tail_left_ = 0;
+      tail_ = nullptr;
+    }
+
+    /// Invokes fn(target_local) in append order.
+    template <typename Fn>
+    void ForEachLocal(Fn&& fn) {
+      size_t remaining = size_;
+      for (size_t chunk = 0; remaining != 0; ++chunk) {
+        const size_t count = std::min(remaining, kChunkSize);
+        const OutMessage* const messages = chunks_[chunk].get();
+        for (size_t i = 0; i < count; ++i) fn(messages[i].target_local);
+        remaining -= count;
+      }
+    }
+
+    /// Invokes fn(target_local, payload&) in append order; payloads are
+    /// passed by mutable reference so consumers can move them out.
+    template <typename Fn>
+    void ForEachMessage(Fn&& fn) {
+      size_t remaining = size_;
+      for (size_t chunk = 0; remaining != 0; ++chunk) {
+        const size_t count = std::min(remaining, kChunkSize);
+        OutMessage* const messages = chunks_[chunk].get();
+        for (size_t i = 0; i < count; ++i) {
+          fn(messages[i].target_local, messages[i].payload);
+        }
+        remaining -= count;
+      }
+    }
+
+   private:
+    void AdvanceChunk() {
+      const size_t chunk = size_ / kChunkSize;
+      if (chunk == chunks_.size()) {
+        chunks_.push_back(std::make_unique<OutMessage[]>(kChunkSize));
+      }
+      tail_ = chunks_[chunk].get();
+      tail_left_ = kChunkSize;
+    }
+
+    std::vector<std::unique_ptr<OutMessage[]>> chunks_;
+    size_t size_ = 0;
+    size_t tail_left_ = 0;
+    OutMessage* tail_ = nullptr;
+  };
+
+  void Init(uint32_t num_workers, uint64_t num_vertices) {
+    num_workers_ = num_workers;
+    divider_ = FastDiv(num_workers);
+    outboxes_.clear();
+    outboxes_.resize(static_cast<size_t>(num_workers) * num_workers);
+    slabs_.clear();
+    slabs_.resize(num_workers);
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      const uint64_t owned =
+          num_vertices / num_workers + (w < num_vertices % num_workers);
+      slabs_[w].entries.assign(owned, SlabEntry{});
+    }
+  }
+
+  /// Magic-multiply divider by num_workers, shared with the engine's
+  /// partitioning math.
+  const FastDiv& divider() const { return divider_; }
+
+  /// Queues a message from `sender` to the vertex with local index
+  /// `target_local` on worker `dest` (the sender already split the
+  /// target id into owner + local index). Called concurrently for
+  /// distinct senders, never for the same one.
+  void Append(WorkerId sender, WorkerId dest, uint32_t target_local,
+              M payload) {
+    SenderRow(sender)[dest].PushBack(target_local, std::move(payload));
+  }
+
+  /// The sender's row of destination outboxes (indexed by dest worker);
+  /// lets tight send loops hoist the row lookup.
+  Outbox* SenderRow(WorkerId sender) {
+    return outboxes_.data() + static_cast<size_t>(sender) * num_workers_;
+  }
+
+  /// Barrier phase: bucket-sorts everything queued for `w` into w's slab
+  /// and clears the consumed outboxes. Appends each owned vertex that
+  /// received at least one message to *messaged (ascending vertex ids).
+  /// Safe to call concurrently for distinct `w`.
+  void BuildIncomingSlab(WorkerId w, std::vector<VertexId>* messaged) {
+    Slab& slab = slabs_[w];
+    SlabEntry* const entries = slab.entries.data();
+    const uint32_t stamp = ++slab.stamp;
+    messaged->clear();
+
+    // Pass 1: per-vertex counts (accumulated in entry.begin) and
+    // first-touch discovery of messaged vertices (as local indices).
+    // Only the locals stream is touched.
+    uint64_t total = 0;
+    for (WorkerId sender = 0; sender < num_workers_; ++sender) {
+      Outbox& box = OutboxFor(sender, w);
+      box.ForEachLocal([&](uint32_t target_local) {
+        SlabEntry& entry = entries[target_local];
+        if (entry.epoch != stamp) {
+          entry.epoch = stamp;
+          entry.begin = 0;
+          messaged->push_back(target_local);
+        }
+        entry.begin++;
+      });
+      total += box.size();
+    }
+    // The worklist needs the messaged vertices in ascending order. Local
+    // indices sort in the same order as the global ids they map to
+    // (v = local * W + w is monotone in local). When most owned vertices
+    // were messaged anyway (dense supersteps, e.g. PageRank), a linear
+    // stamp scan beats the comparison sort and is still O(messaged).
+    if (messaged->size() >= slab.entries.size() / 4) {
+      messaged->clear();
+      const uint32_t owned = static_cast<uint32_t>(slab.entries.size());
+      for (uint32_t l = 0; l < owned; ++l) {
+        if (entries[l].epoch == stamp) messaged->push_back(l);
+      }
+    } else {
+      std::sort(messaged->begin(), messaged->end());
+    }
+
+    // Prefix-sum the counts into offsets; `end` doubles as the fill
+    // cursor and lands on the true span end after pass 2.
+    uint32_t running = 0;
+    for (const VertexId l : *messaged) {
+      SlabEntry& entry = entries[l];
+      const uint32_t count = entry.begin;
+      entry.begin = running;
+      entry.end = running;
+      running += count;
+    }
+    if (slab.payload.size() < total) slab.payload.resize(total);
+
+    // Pass 2: stable placement. Iterating senders in ascending order and
+    // each outbox in append order yields the per-vertex delivery order
+    // (sender worker asc, within-sender send order).
+    M* const payload_out = slab.payload.data();
+    for (WorkerId sender = 0; sender < num_workers_; ++sender) {
+      Outbox& box = OutboxFor(sender, w);
+      box.ForEachMessage([&](uint32_t target_local, M& payload) {
+        payload_out[entries[target_local].end++] = std::move(payload);
+      });
+      box.Clear();
+    }
+
+    // Hand the worklist global vertex ids.
+    for (VertexId& v : *messaged) v = v * num_workers_ + w;
+  }
+
+  /// Inbox of vertex `v` (owned by `w`) for the current superstep, as a
+  /// contiguous span into the worker's slab. Empty if nothing was
+  /// delivered this superstep.
+  std::span<const M> MessagesFor(WorkerId w, VertexId v) const {
+    const Slab& slab = slabs_[w];
+    const SlabEntry& entry = slab.entries[divider_.Div(v)];
+    if (entry.epoch != slab.stamp) return {};
+    return {slab.payload.data() + entry.begin,
+            slab.payload.data() + entry.end};
+  }
+
+ private:
+  static constexpr uint32_t kNeverStamped = 0xFFFFFFFFu;
+
+  /// Per-local-vertex slab bookkeeping, packed so one superstep's touch
+  /// of a vertex hits a single cache line. Offsets are valid only when
+  /// `epoch` carries the slab's current stamp; anything else reads as an
+  /// empty inbox, which is what makes the barrier O(messaged) instead of
+  /// O(owned vertices).
+  struct SlabEntry {
+    uint32_t epoch = kNeverStamped;  // last stamp that touched this entry
+    uint32_t begin = 0;              // payload offsets [begin, end)
+    uint32_t end = 0;
+  };
+
+  /// One worker's incoming messages, grouped by target vertex. Compute
+  /// at superstep S reads the slab built at the end of superstep S-1;
+  /// the phases are separated by a ParallelFor barrier, so a single
+  /// buffer per worker suffices and is rebuilt in place.
+  struct Slab {
+    std::vector<M> payload;  // all messages, grouped by local index
+    std::vector<SlabEntry> entries;
+    uint32_t stamp = 0;      // incremented per BuildIncomingSlab
+  };
+
+  Outbox& OutboxFor(WorkerId sender, WorkerId dest) {
+    return outboxes_[static_cast<size_t>(sender) * num_workers_ + dest];
+  }
+
+  uint32_t num_workers_ = 0;
+  FastDiv divider_;
+  std::vector<Outbox> outboxes_;  // [sender * W + dest]
+  std::vector<Slab> slabs_;       // [dest]
+};
+
+}  // namespace predict::bsp::internal
+
+#endif  // PREDICT_BSP_MESSAGE_STORE_H_

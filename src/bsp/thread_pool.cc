@@ -1,6 +1,17 @@
 #include "bsp/thread_pool.h"
 
+#include <algorithm>
+
 namespace predict::bsp {
+
+namespace {
+
+/// Chunks per participant; small enough to amortize the atomic claim,
+/// large enough to rebalance when fn(i) costs vary across i (skewed
+/// simulated workers).
+constexpr uint64_t kChunksPerParticipant = 8;
+
+}  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
   threads_.reserve(num_threads);
@@ -18,6 +29,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::RunChunks(const std::function<void(uint64_t)>& fn) {
+  const uint64_t total = total_count_;
+  const uint64_t grain = grain_;
+  uint64_t done = 0;
+  while (true) {
+    const uint64_t begin = next_index_.fetch_add(grain);
+    if (begin >= total) break;
+    const uint64_t end = std::min(begin + grain, total);
+    for (uint64_t i = begin; i < end; ++i) fn(i);
+    done += end - begin;
+  }
+  if (done != 0) completed_.fetch_add(done);
+}
+
 void ThreadPool::ParallelFor(uint64_t count,
                              const std::function<void(uint64_t)>& fn) {
   if (count == 0) return;
@@ -25,25 +50,24 @@ void ThreadPool::ParallelFor(uint64_t count,
     for (uint64_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  current_fn_ = &fn;
-  next_index_ = 0;
-  total_count_ = count;
-  completed_ = 0;
-  ++generation_;
+  const uint64_t participants = threads_.size() + 1;  // caller joins in
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_fn_ = &fn;
+    total_count_ = count;
+    grain_ = std::max<uint64_t>(1, count / (participants * kChunksPerParticipant));
+    next_index_.store(0);
+    completed_.store(0);
+    ++generation_;
+  }
   work_ready_.notify_all();
 
-  // The caller participates too.
-  while (true) {
-    const uint64_t i = next_index_;
-    if (i >= total_count_) break;
-    ++next_index_;
-    lock.unlock();
-    fn(i);
-    lock.lock();
-    ++completed_;
-  }
-  work_done_.wait(lock, [this] { return completed_ == total_count_; });
+  RunChunks(fn);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] {
+    return completed_.load() == total_count_ && active_workers_ == 0;
+  });
   current_fn_ = nullptr;
 }
 
@@ -57,16 +81,16 @@ void ThreadPool::WorkerLoop() {
     });
     if (shutting_down_) return;
     seen_generation = generation_;
-    while (current_fn_ != nullptr) {
-      const uint64_t i = next_index_;
-      if (i >= total_count_) break;
-      ++next_index_;
-      const auto* fn = current_fn_;
-      lock.unlock();
-      (*fn)(i);
-      lock.lock();
-      ++completed_;
-      if (completed_ == total_count_) work_done_.notify_all();
+    const auto* fn = current_fn_;
+    ++active_workers_;
+    lock.unlock();
+    RunChunks(*fn);
+    lock.lock();
+    --active_workers_;
+    // Last one out wakes the caller (who may also be waiting for the
+    // index space to drain).
+    if (active_workers_ == 0 && completed_.load() == total_count_) {
+      work_done_.notify_all();
     }
   }
 }

@@ -68,6 +68,12 @@ class VertexContext {
   internal::EngineState<V, M>* engine_;
   WorkerId worker_;
   VertexId id_;
+  /// Set when the program takes a mutable reference to the vertex state;
+  /// tells the engine to refresh this vertex's simulated state bytes.
+  /// The size before the first mutable access is captured alongside so
+  /// the engine can charge the delta.
+  bool value_dirty_ = false;
+  uint64_t pre_state_bytes_ = 0;
 };
 
 /// Master view handed to VertexProgram::MasterCompute after superstep S.

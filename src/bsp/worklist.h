@@ -1,0 +1,91 @@
+// Active-vertex worklists for the BSP engine.
+//
+// Pregel runs Compute for every vertex that is active OR has pending
+// messages. The engine used to discover that set by scanning all of a
+// worker's vertices every superstep — O(V) work even when a handful of
+// label improvements trickle through a converged graph (the connected-
+// components tail, the paper's 100x inter-iteration variability case).
+//
+// A WorkerWorklist keeps the set explicitly, so a superstep touches
+// O(active + messaged) vertices:
+//
+//   * during Compute, vertices that did not vote to halt are appended
+//     to `survivors` (ascending, because workers compute in ascending
+//     vertex order — part of the determinism contract);
+//   * at the barrier, the message store reports which owned vertices
+//     received messages (`messaged`, sorted ascending);
+//   * the next superstep's worklist is the sorted union of the two.
+//
+// Every list is per worker and only ever touched by the thread running
+// that worker's phase, so no synchronization is needed and iteration
+// order is identical for any host thread count.
+
+#ifndef PREDICT_BSP_WORKLIST_H_
+#define PREDICT_BSP_WORKLIST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "bsp/counters.h"
+#include "graph/graph.h"
+
+namespace predict::bsp::internal {
+
+/// The set of vertices one worker must run Compute for, maintained
+/// across supersteps. All member lists hold global vertex ids, sorted
+/// ascending and duplicate-free.
+class WorkerWorklist {
+ public:
+  /// Superstep-0 seed: every vertex starts active, so the worklist is
+  /// all vertices owned by `w` (owner = v % num_workers).
+  void SeedAllOwned(WorkerId w, uint32_t num_workers, uint64_t num_vertices) {
+    current_.clear();
+    const uint64_t owned =
+        num_vertices / num_workers + (w < num_vertices % num_workers);
+    current_.reserve(owned);
+    for (uint64_t v = w; v < num_vertices; v += num_workers) {
+      current_.push_back(static_cast<VertexId>(v));
+    }
+    survivors_.clear();
+    messaged_.clear();
+  }
+
+  /// Vertices to compute this superstep.
+  std::span<const VertexId> current() const { return current_; }
+
+  void BeginSuperstep() { survivors_.clear(); }
+
+  /// Records that `v` is still active after Compute. Must be called in
+  /// ascending vertex order (the worker's compute order).
+  void AddSurvivor(VertexId v) { survivors_.push_back(v); }
+
+  /// Vertices still active after this superstep's Compute phase; the
+  /// engine sums these for MasterContext::active_vertices().
+  uint64_t num_survivors() const { return survivors_.size(); }
+
+  /// Scratch the message store fills with this worker's messaged
+  /// vertices (sorted ascending) at the barrier.
+  std::vector<VertexId>* messaged() { return &messaged_; }
+
+  /// Barrier phase: next worklist = survivors ∪ messaged.
+  void Rebuild() {
+    scratch_.clear();
+    scratch_.reserve(survivors_.size() + messaged_.size());
+    std::set_union(survivors_.begin(), survivors_.end(), messaged_.begin(),
+                   messaged_.end(), std::back_inserter(scratch_));
+    current_.swap(scratch_);
+  }
+
+ private:
+  std::vector<VertexId> current_;
+  std::vector<VertexId> survivors_;
+  std::vector<VertexId> messaged_;
+  std::vector<VertexId> scratch_;
+};
+
+}  // namespace predict::bsp::internal
+
+#endif  // PREDICT_BSP_WORKLIST_H_

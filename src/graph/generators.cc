@@ -69,6 +69,8 @@ Result<Graph> GeneratePreferentialAttachment(
   }
   Rng rng(options.seed);
   GraphBuilder builder(options.num_vertices);
+  builder.ReserveEdges(static_cast<uint64_t>(options.num_vertices) *
+                       options.out_degree * 2);
   PreferentialPool pool(static_cast<uint64_t>(options.num_vertices) *
                         options.out_degree);
 
@@ -146,6 +148,9 @@ Result<Graph> GenerateCopyModelWebGraph(const CopyModelOptions& options) {
   }
 
   GraphBuilder builder(options.num_vertices);
+  uint64_t total_links = 0;
+  for (const auto& links : out_lists) total_links += links.size();
+  builder.ReserveEdges(total_links);
   for (VertexId v = 0; v < options.num_vertices; ++v) {
     for (const VertexId u : out_lists[v]) builder.AddEdge(v, u);
   }
@@ -198,6 +203,7 @@ Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
   }
   Rng rng(options.seed);
   GraphBuilder builder(options.num_vertices);
+  builder.ReserveEdges(options.num_edges);
   for (uint64_t i = 0; i < options.num_edges; ++i) {
     const VertexId src = static_cast<VertexId>(rng.Uniform(options.num_vertices));
     VertexId dst = static_cast<VertexId>(rng.Uniform(options.num_vertices));
@@ -219,6 +225,7 @@ Result<Graph> GenerateRmat(const RmatOptions& options) {
   Rng rng(options.seed);
   const VertexId n = static_cast<VertexId>(1u << options.scale);
   GraphBuilder builder(n);
+  builder.ReserveEdges(options.num_edges);
   for (uint64_t e = 0; e < options.num_edges; ++e) {
     VertexId row = 0, col = 0;
     for (uint32_t level = 0; level < options.scale; ++level) {
@@ -245,6 +252,7 @@ Result<Graph> GenerateRmat(const RmatOptions& options) {
 Result<Graph> GenerateChain(VertexId num_vertices) {
   if (num_vertices == 0) return Status::InvalidArgument("empty chain");
   GraphBuilder builder(num_vertices);
+  if (num_vertices > 1) builder.ReserveEdges(num_vertices - 1);
   for (VertexId v = 0; v + 1 < num_vertices; ++v) builder.AddEdge(v, v + 1);
   return builder.Build();
 }
@@ -252,6 +260,7 @@ Result<Graph> GenerateChain(VertexId num_vertices) {
 Result<Graph> GenerateComplete(VertexId num_vertices) {
   if (num_vertices == 0) return Status::InvalidArgument("empty graph");
   GraphBuilder builder(num_vertices);
+  builder.ReserveEdges(static_cast<uint64_t>(num_vertices) * (num_vertices - 1));
   for (VertexId v = 0; v < num_vertices; ++v) {
     for (VertexId u = 0; u < num_vertices; ++u) {
       if (u != v) builder.AddEdge(v, u);
@@ -263,6 +272,8 @@ Result<Graph> GenerateComplete(VertexId num_vertices) {
 Result<Graph> GenerateStar(VertexId num_vertices, bool bidirectional) {
   if (num_vertices == 0) return Status::InvalidArgument("empty graph");
   GraphBuilder builder(num_vertices);
+  builder.ReserveEdges(static_cast<uint64_t>(num_vertices - 1) *
+                       (bidirectional ? 2 : 1));
   for (VertexId v = 1; v < num_vertices; ++v) {
     builder.AddEdge(0, v);
     if (bidirectional) builder.AddEdge(v, 0);

@@ -8,7 +8,14 @@ namespace predict {
 Result<Graph> Graph::FromEdges(VertexId num_vertices,
                                const std::vector<Edge>& edges) {
   GraphBuilder builder(num_vertices);
-  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst, e.weight);
+  builder.AddEdges(edges);  // one sized allocation + copy
+  return builder.Build();
+}
+
+Result<Graph> Graph::FromEdges(VertexId num_vertices,
+                               std::vector<Edge>&& edges) {
+  GraphBuilder builder(num_vertices);
+  builder.AddEdges(std::move(edges));
   return builder.Build();
 }
 
@@ -80,19 +87,22 @@ Result<Graph> GraphBuilder::Build() {
       std::any_of(edges_.begin(), edges_.end(),
                   [](const Edge& e) { return e.weight != 1.0f; });
 
-  // Counting sort into CSR, out direction.
+  // Counting sort into CSR; the cursor scratch is sized once and reused
+  // for both adjacency directions.
+  std::vector<uint64_t> cursor;
+  cursor.reserve(v_count);
+
+  // Out direction.
   g.out_offsets_.assign(v_count + 1, 0);
   for (const Edge& e : edges_) g.out_offsets_[e.src + 1]++;
   for (uint64_t v = 0; v < v_count; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
   g.out_targets_.resize(e_count);
   if (g.is_weighted_) g.out_weights_.resize(e_count);
-  {
-    std::vector<uint64_t> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
-    for (const Edge& e : edges_) {
-      const uint64_t slot = cursor[e.src]++;
-      g.out_targets_[slot] = e.dst;
-      if (g.is_weighted_) g.out_weights_[slot] = e.weight;
-    }
+  cursor.assign(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    const uint64_t slot = cursor[e.src]++;
+    g.out_targets_[slot] = e.dst;
+    if (g.is_weighted_) g.out_weights_[slot] = e.weight;
   }
 
   // In direction.
@@ -100,10 +110,8 @@ Result<Graph> GraphBuilder::Build() {
   for (const Edge& e : edges_) g.in_offsets_[e.dst + 1]++;
   for (uint64_t v = 0; v < v_count; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
   g.in_sources_.resize(e_count);
-  {
-    std::vector<uint64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
-    for (const Edge& e : edges_) g.in_sources_[cursor[e.dst]++] = e.src;
-  }
+  cursor.assign(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const Edge& e : edges_) g.in_sources_[cursor[e.dst]++] = e.src;
 
   edges_.clear();
   edges_.shrink_to_fit();

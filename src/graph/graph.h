@@ -49,6 +49,12 @@ class Graph {
   static Result<Graph> FromEdges(VertexId num_vertices,
                                  const std::vector<Edge>& edges);
 
+  /// Overload taking ownership of the edge list: skips the copy entirely
+  /// (the CSR assembly consumes the vector in place). Prefer this when
+  /// the caller's edge list is expendable.
+  static Result<Graph> FromEdges(VertexId num_vertices,
+                                 std::vector<Edge>&& edges);
+
   uint64_t num_vertices() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
   uint64_t num_edges() const { return out_targets_.size(); }
 
@@ -122,6 +128,19 @@ class GraphBuilder {
     AddEdge(src, dst, weight);
     AddEdge(dst, src, weight);
   }
+
+  /// Appends a whole batch; adopts the vector (no copy) when the builder
+  /// holds no pending edges yet.
+  void AddEdges(std::vector<Edge> edges) {
+    if (edges_.empty()) {
+      edges_ = std::move(edges);
+    } else {
+      edges_.insert(edges_.end(), edges.begin(), edges.end());
+    }
+  }
+
+  /// Pre-sizes the pending edge list for `count` further AddEdge calls.
+  void ReserveEdges(uint64_t count) { edges_.reserve(edges_.size() + count); }
 
   /// Drop self-loops at Build time (default keeps them).
   void set_drop_self_loops(bool drop) { drop_self_loops_ = drop; }

@@ -42,7 +42,7 @@ Result<Graph> ParseEdgeLines(std::istream& in, VertexId num_vertices) {
     saw_vertex = true;
   }
   if (num_vertices == 0) num_vertices = saw_vertex ? max_id + 1 : 0;
-  return Graph::FromEdges(num_vertices, edges);
+  return Graph::FromEdges(num_vertices, std::move(edges));
 }
 
 }  // namespace
@@ -137,7 +137,8 @@ Result<Graph> ReadBinaryGraphFile(const std::string& path) {
     }
     edges.push_back({src, dst, weight});
   }
-  return Graph::FromEdges(static_cast<VertexId>(num_vertices), edges);
+  return Graph::FromEdges(static_cast<VertexId>(num_vertices),
+                          std::move(edges));
 }
 
 Status WriteEdgeListFile(const Graph& graph, const std::string& path) {

@@ -26,7 +26,7 @@ Result<Graph> ToUndirected(const Graph& graph) {
                             return a.src == b.src && a.dst == b.dst;
                           }),
               edges.end());
-  return Graph::FromEdges(static_cast<VertexId>(v_count), edges);
+  return Graph::FromEdges(static_cast<VertexId>(v_count), std::move(edges));
 }
 
 Result<SubgraphResult> InducedSubgraph(const Graph& graph,
@@ -62,7 +62,7 @@ Result<SubgraphResult> InducedSubgraph(const Graph& graph,
   result.original_id = vertices;
   PREDICT_ASSIGN_OR_RETURN(
       result.graph,
-      Graph::FromEdges(static_cast<VertexId>(vertices.size()), edges));
+      Graph::FromEdges(static_cast<VertexId>(vertices.size()), std::move(edges)));
   return result;
 }
 
@@ -76,7 +76,8 @@ Result<Graph> Transpose(const Graph& graph) {
       edges.push_back({targets[i], v, w});
     }
   }
-  return Graph::FromEdges(static_cast<VertexId>(graph.num_vertices()), edges);
+  return Graph::FromEdges(static_cast<VertexId>(graph.num_vertices()),
+                          std::move(edges));
 }
 
 }  // namespace predict

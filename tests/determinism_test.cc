@@ -1,0 +1,164 @@
+// Bit-identical determinism of the BSP engine across host thread counts.
+//
+// Host threads only accelerate the simulation: RunStats (per-superstep
+// Table-1 counters, simulated seconds, memory model) and final vertex
+// values must be bit-identical for any num_threads, including 0
+// (inline). These tests pin that contract for two real algorithms and
+// for a deliberately order-sensitive (non-commutative) vertex program
+// that folds its inbox into a hash, which fails if per-vertex delivery
+// order ever deviates from (sender worker asc, within-sender send
+// order).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/connected_components.h"
+#include "algorithms/pagerank.h"
+#include "bsp/engine.h"
+#include "graph/generators.h"
+
+namespace predict {
+namespace {
+
+using bsp::Engine;
+using bsp::EngineOptions;
+using bsp::RunStats;
+using bsp::VertexContext;
+using bsp::WorkerCounters;
+
+constexpr int kThreadCounts[] = {0, 1, 2, 8};
+
+EngineOptions ClusterOptions(int num_threads) {
+  EngineOptions options;
+  options.num_workers = 29;  // the paper's cluster
+  options.num_threads = num_threads;
+  return options;  // default cost profile, noise on: still deterministic
+}
+
+void ExpectCountersEqual(const WorkerCounters& a, const WorkerCounters& b) {
+  EXPECT_EQ(a.active_vertices, b.active_vertices);
+  EXPECT_EQ(a.total_vertices, b.total_vertices);
+  EXPECT_EQ(a.local_messages, b.local_messages);
+  EXPECT_EQ(a.remote_messages, b.remote_messages);
+  EXPECT_EQ(a.local_message_bytes, b.local_message_bytes);
+  EXPECT_EQ(a.remote_message_bytes, b.remote_message_bytes);
+}
+
+// Bit-identical comparison of everything the simulation derives (wall
+// time excluded: it is the one host-dependent field).
+void ExpectStatsIdentical(const RunStats& a, const RunStats& b) {
+  ASSERT_EQ(a.num_supersteps(), b.num_supersteps());
+  EXPECT_EQ(a.halt_reason, b.halt_reason);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.superstep_phase_seconds, b.superstep_phase_seconds);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.static_critical_worker, b.static_critical_worker);
+  for (int s = 0; s < a.num_supersteps(); ++s) {
+    const auto& sa = a.supersteps[s];
+    const auto& sb = b.supersteps[s];
+    EXPECT_EQ(sa.simulated_seconds, sb.simulated_seconds) << "superstep " << s;
+    EXPECT_EQ(sa.critical_worker, sb.critical_worker) << "superstep " << s;
+    EXPECT_EQ(sa.memory_bytes, sb.memory_bytes) << "superstep " << s;
+    EXPECT_EQ(sa.aggregates, sb.aggregates) << "superstep " << s;
+    ASSERT_EQ(sa.per_worker.size(), sb.per_worker.size());
+    for (size_t w = 0; w < sa.per_worker.size(); ++w) {
+      ExpectCountersEqual(sa.per_worker[w], sb.per_worker[w]);
+    }
+  }
+}
+
+TEST(DeterminismTest, PageRankBitIdenticalAcrossThreadCounts) {
+  const Graph g =
+      GeneratePreferentialAttachment({4000, 6, 0.3, 29}).MoveValue();
+  bool have_baseline = false;
+  PageRankResult baseline;
+  for (const int threads : kThreadCounts) {
+    auto result =
+        RunPageRank(g, {{"tau", 1e-4}}, ClusterOptions(threads));
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    if (!have_baseline) {
+      baseline = std::move(result).MoveValue();
+      have_baseline = true;
+      continue;
+    }
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectStatsIdentical(baseline.stats, result->stats);
+    ASSERT_EQ(baseline.ranks.size(), result->ranks.size());
+    for (size_t v = 0; v < baseline.ranks.size(); ++v) {
+      // EXPECT_EQ, not NEAR: float summation order must not change.
+      EXPECT_EQ(baseline.ranks[v], result->ranks[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(DeterminismTest, ConnectedComponentsBitIdenticalAcrossThreadCounts) {
+  // Disconnected union of communities: a long sparse-activation tail.
+  const Graph g =
+      GeneratePreferentialAttachment({3000, 3, 0.5, 31}).MoveValue();
+  bool have_baseline = false;
+  ConnectedComponentsResult baseline;
+  for (const int threads : kThreadCounts) {
+    auto result = RunConnectedComponents(g, ClusterOptions(threads));
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    if (!have_baseline) {
+      baseline = std::move(result).MoveValue();
+      have_baseline = true;
+      continue;
+    }
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectStatsIdentical(baseline.stats, result->stats);
+    EXPECT_EQ(baseline.labels, result->labels);
+  }
+}
+
+// ----------------------------------------------------- delivery ordering
+
+// Non-commutative inbox fold: value <- value * 7 + message. Any change
+// in per-vertex delivery order changes the result. At superstep 0 every
+// vertex sends two messages (id*10 + 1, id*10 + 2) to vertex 0.
+class HashChainProgram : public bsp::VertexProgram<int64_t, int64_t> {
+ public:
+  int64_t InitialValue(VertexId, const Graph&) const override { return 0; }
+  void Compute(VertexContext<int64_t, int64_t>* ctx,
+               std::span<const int64_t> messages) override {
+    for (const int64_t m : messages) ctx->value() = ctx->value() * 7 + m;
+    if (ctx->superstep() == 0) {
+      const int64_t base = static_cast<int64_t>(ctx->id()) * 10;
+      ctx->SendMessage(0, base + 1);
+      ctx->SendMessage(0, base + 2);
+    }
+    ctx->VoteToHalt();
+  }
+};
+
+TEST(DeterminismTest, DeliveryOrderIsSenderWorkerThenSendOrder) {
+  // 6 vertices on 3 workers (owner = id % 3): worker 0 owns {0, 3},
+  // worker 1 owns {1, 4}, worker 2 owns {2, 5}. Vertex 0's inbox must
+  // be ordered by sender worker asc, within a worker by compute order
+  // (ascending vertex id), within a sender by send-call order.
+  GraphBuilder b(6);
+  const Graph g = b.Build().MoveValue();
+
+  const std::vector<int64_t> expected_order = {
+      1, 2, 31, 32,    // worker 0: senders 0, 3
+      11, 12, 41, 42,  // worker 1: senders 1, 4
+      21, 22, 51, 52,  // worker 2: senders 2, 5
+  };
+  int64_t expected = 0;
+  for (const int64_t m : expected_order) expected = expected * 7 + m;
+
+  for (const int threads : kThreadCounts) {
+    EngineOptions options;
+    options.num_workers = 3;
+    options.num_threads = threads;
+    Engine<int64_t, int64_t> engine(options);
+    HashChainProgram program;
+    ASSERT_TRUE(engine.Run(g, &program).ok()) << "threads=" << threads;
+    EXPECT_EQ(engine.vertex_values()[0], expected) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace predict

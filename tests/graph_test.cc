@@ -140,6 +140,37 @@ TEST(GraphTest, FromEdgesMatchesBuilder) {
   EXPECT_EQ(g->num_edges(), 2u);
 }
 
+TEST(GraphTest, FromEdgesRvalueOverloadMatchesCopying) {
+  std::vector<Edge> edges = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 0, 1.0f}};
+  const Graph copied = Graph::FromEdges(3, edges).MoveValue();
+  const Graph moved = Graph::FromEdges(3, std::move(edges)).MoveValue();
+  EXPECT_EQ(moved.num_edges(), copied.num_edges());
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(moved.out_degree(v), copied.out_degree(v));
+    EXPECT_EQ(moved.in_degree(v), copied.in_degree(v));
+    EXPECT_EQ(moved.out_neighbors(v)[0], copied.out_neighbors(v)[0]);
+  }
+}
+
+TEST(GraphBuilderTest, AddEdgesBatchMatchesIndividualAdds) {
+  GraphBuilder one_by_one(4);
+  one_by_one.AddEdge(0, 1);
+  one_by_one.AddEdge(1, 2, 2.0f);
+  one_by_one.AddEdge(2, 3);
+  GraphBuilder batched(4);
+  batched.ReserveEdges(3);
+  batched.AddEdges({{0, 1, 1.0f}, {1, 2, 2.0f}});
+  batched.AddEdges({{2, 3, 1.0f}});  // second batch appends
+  const Graph a = one_by_one.Build().MoveValue();
+  const Graph b = batched.Build().MoveValue();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.is_weighted(), b.is_weighted());
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(a.out_degree(v), b.out_degree(v));
+  }
+  EXPECT_FLOAT_EQ(b.out_weights(1)[0], 2.0f);
+}
+
 TEST(GraphTest, ToEdgeListRoundTrips) {
   const Graph g = MakeTriangle();
   const auto edges = g.ToEdgeList();
