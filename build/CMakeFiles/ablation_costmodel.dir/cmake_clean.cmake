@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_costmodel.dir/bench/ablation_costmodel.cc.o"
+  "CMakeFiles/ablation_costmodel.dir/bench/ablation_costmodel.cc.o.d"
+  "ablation_costmodel"
+  "ablation_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transform.dir/bench/ablation_transform.cc.o"
+  "CMakeFiles/ablation_transform.dir/bench/ablation_transform.cc.o.d"
+  "ablation_transform"
+  "ablation_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_scheduler.dir/examples/cluster_scheduler.cpp.o"
+  "CMakeFiles/example_cluster_scheduler.dir/examples/cluster_scheduler.cpp.o.d"
+  "example_cluster_scheduler"
+  "example_cluster_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_algorithm.dir/examples/custom_algorithm.cpp.o"
+  "CMakeFiles/example_custom_algorithm.dir/examples/custom_algorithm.cpp.o.d"
+  "example_custom_algorithm"
+  "example_custom_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sla_feasibility.dir/examples/sla_feasibility.cpp.o"
+  "CMakeFiles/example_sla_feasibility.dir/examples/sla_feasibility.cpp.o.d"
+  "example_sla_feasibility"
+  "example_sla_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sla_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cc_nh_iterations.dir/bench/ext_cc_nh_iterations.cc.o"
+  "CMakeFiles/ext_cc_nh_iterations.dir/bench/ext_cc_nh_iterations.cc.o.d"
+  "ext_cc_nh_iterations"
+  "ext_cc_nh_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cc_nh_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_cc_nh_iterations.
+# This may be replaced when dependencies are built.

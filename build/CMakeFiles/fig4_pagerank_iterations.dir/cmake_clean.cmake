@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pagerank_iterations.dir/bench/fig4_pagerank_iterations.cc.o"
+  "CMakeFiles/fig4_pagerank_iterations.dir/bench/fig4_pagerank_iterations.cc.o.d"
+  "fig4_pagerank_iterations"
+  "fig4_pagerank_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pagerank_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_topk_features.dir/bench/fig6_topk_features.cc.o"
+  "CMakeFiles/fig6_topk_features.dir/bench/fig6_topk_features.cc.o.d"
+  "fig6_topk_features"
+  "fig6_topk_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_topk_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

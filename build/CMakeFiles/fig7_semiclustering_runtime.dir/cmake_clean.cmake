@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_semiclustering_runtime.dir/bench/fig7_semiclustering_runtime.cc.o"
+  "CMakeFiles/fig7_semiclustering_runtime.dir/bench/fig7_semiclustering_runtime.cc.o.d"
+  "fig7_semiclustering_runtime"
+  "fig7_semiclustering_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_semiclustering_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

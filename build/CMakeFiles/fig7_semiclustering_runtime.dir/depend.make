@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_semiclustering_runtime.
+# This may be replaced when dependencies are built.

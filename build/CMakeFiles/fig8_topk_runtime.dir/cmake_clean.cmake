@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_topk_runtime.dir/bench/fig8_topk_runtime.cc.o"
+  "CMakeFiles/fig8_topk_runtime.dir/bench/fig8_topk_runtime.cc.o.d"
+  "fig8_topk_runtime"
+  "fig8_topk_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_topk_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

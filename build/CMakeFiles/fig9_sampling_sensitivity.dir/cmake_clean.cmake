@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sampling_sensitivity.dir/bench/fig9_sampling_sensitivity.cc.o"
+  "CMakeFiles/fig9_sampling_sensitivity.dir/bench/fig9_sampling_sensitivity.cc.o.d"
+  "fig9_sampling_sensitivity"
+  "fig9_sampling_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sampling_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

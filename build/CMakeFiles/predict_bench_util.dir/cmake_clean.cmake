@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/predict_bench_util.dir/bench/bench_util.cc.o.d"
+  "libpredict_bench_util.a"
+  "libpredict_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

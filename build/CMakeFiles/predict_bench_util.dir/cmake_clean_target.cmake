@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredict_bench_util.a"
+)

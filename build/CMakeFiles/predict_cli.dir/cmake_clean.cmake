@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_cli.dir/tools/predict_cli.cc.o"
+  "CMakeFiles/predict_cli.dir/tools/predict_cli.cc.o.d"
+  "predict_cli"
+  "predict_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

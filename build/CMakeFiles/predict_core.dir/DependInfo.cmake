@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/algorithm_spec.cc" "CMakeFiles/predict_core.dir/src/algorithms/algorithm_spec.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/algorithm_spec.cc.o.d"
+  "/root/repo/src/algorithms/connected_components.cc" "CMakeFiles/predict_core.dir/src/algorithms/connected_components.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/connected_components.cc.o.d"
+  "/root/repo/src/algorithms/neighborhood.cc" "CMakeFiles/predict_core.dir/src/algorithms/neighborhood.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/neighborhood.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "CMakeFiles/predict_core.dir/src/algorithms/pagerank.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/runner.cc" "CMakeFiles/predict_core.dir/src/algorithms/runner.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/runner.cc.o.d"
+  "/root/repo/src/algorithms/rwr_proximity.cc" "CMakeFiles/predict_core.dir/src/algorithms/rwr_proximity.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/rwr_proximity.cc.o.d"
+  "/root/repo/src/algorithms/semiclustering.cc" "CMakeFiles/predict_core.dir/src/algorithms/semiclustering.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/semiclustering.cc.o.d"
+  "/root/repo/src/algorithms/topk_ranking.cc" "CMakeFiles/predict_core.dir/src/algorithms/topk_ranking.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/algorithms/topk_ranking.cc.o.d"
+  "/root/repo/src/bsp/cost_profile.cc" "CMakeFiles/predict_core.dir/src/bsp/cost_profile.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/bsp/cost_profile.cc.o.d"
+  "/root/repo/src/bsp/counters.cc" "CMakeFiles/predict_core.dir/src/bsp/counters.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/bsp/counters.cc.o.d"
+  "/root/repo/src/bsp/thread_pool.cc" "CMakeFiles/predict_core.dir/src/bsp/thread_pool.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/bsp/thread_pool.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/predict_core.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/predict_core.dir/src/common/status.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/predict_core.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "CMakeFiles/predict_core.dir/src/core/bounds.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/bounds.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "CMakeFiles/predict_core.dir/src/core/cost_model.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/cost_model.cc.o.d"
+  "/root/repo/src/core/extrapolator.cc" "CMakeFiles/predict_core.dir/src/core/extrapolator.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/extrapolator.cc.o.d"
+  "/root/repo/src/core/features.cc" "CMakeFiles/predict_core.dir/src/core/features.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/features.cc.o.d"
+  "/root/repo/src/core/history.cc" "CMakeFiles/predict_core.dir/src/core/history.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/history.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "CMakeFiles/predict_core.dir/src/core/predictor.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/predictor.cc.o.d"
+  "/root/repo/src/core/regression.cc" "CMakeFiles/predict_core.dir/src/core/regression.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/regression.cc.o.d"
+  "/root/repo/src/core/sla.cc" "CMakeFiles/predict_core.dir/src/core/sla.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/sla.cc.o.d"
+  "/root/repo/src/core/transform.cc" "CMakeFiles/predict_core.dir/src/core/transform.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/core/transform.cc.o.d"
+  "/root/repo/src/datasets/datasets.cc" "CMakeFiles/predict_core.dir/src/datasets/datasets.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/datasets/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/predict_core.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/predict_core.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "CMakeFiles/predict_core.dir/src/graph/io.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/graph/io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "CMakeFiles/predict_core.dir/src/graph/stats.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/graph/stats.cc.o.d"
+  "/root/repo/src/graph/transforms.cc" "CMakeFiles/predict_core.dir/src/graph/transforms.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/graph/transforms.cc.o.d"
+  "/root/repo/src/sampling/quality.cc" "CMakeFiles/predict_core.dir/src/sampling/quality.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/sampling/quality.cc.o.d"
+  "/root/repo/src/sampling/sampler.cc" "CMakeFiles/predict_core.dir/src/sampling/sampler.cc.o" "gcc" "CMakeFiles/predict_core.dir/src/sampling/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredict_core.a"
+)

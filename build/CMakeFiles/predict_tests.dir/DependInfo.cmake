@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_test.cc" "CMakeFiles/predict_tests.dir/tests/algorithms_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/algorithms_test.cc.o.d"
+  "/root/repo/tests/bsp_engine_test.cc" "CMakeFiles/predict_tests.dir/tests/bsp_engine_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/bsp_engine_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "CMakeFiles/predict_tests.dir/tests/common_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "CMakeFiles/predict_tests.dir/tests/core_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/core_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "CMakeFiles/predict_tests.dir/tests/datasets_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/datasets_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "CMakeFiles/predict_tests.dir/tests/determinism_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/determinism_test.cc.o.d"
+  "/root/repo/tests/engine_edge_test.cc" "CMakeFiles/predict_tests.dir/tests/engine_edge_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/engine_edge_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "CMakeFiles/predict_tests.dir/tests/extensions_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/extensions_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "CMakeFiles/predict_tests.dir/tests/generators_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/generators_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "CMakeFiles/predict_tests.dir/tests/graph_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/graph_test.cc.o.d"
+  "/root/repo/tests/paper_invariants_test.cc" "CMakeFiles/predict_tests.dir/tests/paper_invariants_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/paper_invariants_test.cc.o.d"
+  "/root/repo/tests/predictor_test.cc" "CMakeFiles/predict_tests.dir/tests/predictor_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/predictor_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "CMakeFiles/predict_tests.dir/tests/property_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/property_test.cc.o.d"
+  "/root/repo/tests/sampling_test.cc" "CMakeFiles/predict_tests.dir/tests/sampling_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/sampling_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "CMakeFiles/predict_tests.dir/tests/stats_test.cc.o" "gcc" "CMakeFiles/predict_tests.dir/tests/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/predict_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_upper_bounds.dir/bench/sec51_upper_bounds.cc.o"
+  "CMakeFiles/sec51_upper_bounds.dir/bench/sec51_upper_bounds.cc.o.d"
+  "sec51_upper_bounds"
+  "sec51_upper_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_upper_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

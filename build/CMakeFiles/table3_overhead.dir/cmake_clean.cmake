@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_overhead.dir/bench/table3_overhead.cc.o"
+  "CMakeFiles/table3_overhead.dir/bench/table3_overhead.cc.o.d"
+  "table3_overhead"
+  "table3_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/predict_tests[1]_include.cmake")
+add_test([=[bench_smoke]=] "/root/repo/build/micro_substrate" "--benchmark_min_time=0.01")
+set_tests_properties([=[bench_smoke]=] PROPERTIES  LABELS "bench-smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;101;add_test;/root/repo/CMakeLists.txt;0;")
