@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "algorithms/connected_components.h"
@@ -20,24 +21,31 @@ struct RegistryEntry {
   AlgorithmRunner runner;
 };
 
+using EntryPtr = std::shared_ptr<const RegistryEntry>;
+
+// Entries are immutable once registered and handed out as shared const
+// pointers: a lookup never copies the spec/runner, and concurrent
+// predictions (PredictionService fan-out) share one entry while invoking
+// its runner on the same const Graph from many threads.
 class Registry {
  public:
-  static Registry& Instance() {
+  static const Registry& Instance() {
     static Registry registry;
     return registry;
   }
 
-  Status Add(const AlgorithmSpec& spec, AlgorithmRunner runner) {
+  Status Add(const AlgorithmSpec& spec, AlgorithmRunner runner) const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (entries_.count(spec.name) != 0) {
       return Status::AlreadyExists("algorithm '" + spec.name +
                                    "' already registered");
     }
-    entries_[spec.name] = {spec, std::move(runner)};
+    entries_[spec.name] =
+        std::make_shared<const RegistryEntry>(spec, std::move(runner));
     return Status::OK();
   }
 
-  Result<RegistryEntry> Find(const std::string& name) {
+  Result<EntryPtr> Find(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(name);
     if (it == entries_.end()) {
@@ -47,7 +55,7 @@ class Registry {
     return it->second;
   }
 
-  std::vector<std::string> Names() {
+  std::vector<std::string> Names() const {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> names;
     names.reserve(entries_.size());
@@ -69,12 +77,12 @@ class Registry {
 
   void RegisterBuiltins();
 
-  std::mutex mutex_;
-  std::map<std::string, RegistryEntry> entries_;
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, EntryPtr> entries_;
 };
 
 void Registry::RegisterBuiltins() {
-  entries_[PageRankSpec().name] = {
+  entries_[PageRankSpec().name] = std::make_shared<const RegistryEntry>(
       PageRankSpec(),
       [](const Graph& graph, const RunOptions& options)
           -> Result<AlgorithmRunResult> {
@@ -85,9 +93,9 @@ void Registry::RegisterBuiltins() {
         result.stats = std::move(pr.stats);
         result.ranks = std::move(pr.ranks);
         return result;
-      }};
+      });
 
-  entries_[SemiClusteringSpec().name] = {
+  entries_[SemiClusteringSpec().name] = std::make_shared<const RegistryEntry>(
       SemiClusteringSpec(),
       [](const Graph& graph, const RunOptions& options)
           -> Result<AlgorithmRunResult> {
@@ -97,9 +105,9 @@ void Registry::RegisterBuiltins() {
         AlgorithmRunResult result;
         result.stats = std::move(sc.stats);
         return result;
-      }};
+      });
 
-  entries_[TopKRankingSpec().name] = {
+  entries_[TopKRankingSpec().name] = std::make_shared<const RegistryEntry>(
       TopKRankingSpec(),
       [](const Graph& graph, const RunOptions& options)
           -> Result<AlgorithmRunResult> {
@@ -110,9 +118,9 @@ void Registry::RegisterBuiltins() {
         AlgorithmRunResult result;
         result.stats = std::move(topk.stats);
         return result;
-      }};
+      });
 
-  entries_[ConnectedComponentsSpec().name] = {
+  entries_[ConnectedComponentsSpec().name] = std::make_shared<const RegistryEntry>(
       ConnectedComponentsSpec(),
       [](const Graph& graph, const RunOptions& options)
           -> Result<AlgorithmRunResult> {
@@ -125,9 +133,9 @@ void Registry::RegisterBuiltins() {
         AlgorithmRunResult result;
         result.stats = std::move(cc.stats);
         return result;
-      }};
+      });
 
-  entries_[NeighborhoodSpec().name] = {
+  entries_[NeighborhoodSpec().name] = std::make_shared<const RegistryEntry>(
       NeighborhoodSpec(),
       [](const Graph& graph, const RunOptions& options)
           -> Result<AlgorithmRunResult> {
@@ -138,9 +146,9 @@ void Registry::RegisterBuiltins() {
         AlgorithmRunResult result;
         result.stats = std::move(nh.stats);
         return result;
-      }};
+      });
 
-  entries_[RwrProximitySpec().name] = {
+  entries_[RwrProximitySpec().name] = std::make_shared<const RegistryEntry>(
       RwrProximitySpec(),
       [](const Graph& graph, const RunOptions& options)
           -> Result<AlgorithmRunResult> {
@@ -151,21 +159,21 @@ void Registry::RegisterBuiltins() {
         result.stats = std::move(rwr.stats);
         result.ranks = std::move(rwr.scores);
         return result;
-      }};
+      });
 }
 
 }  // namespace
 
 Result<AlgorithmSpec> FindAlgorithmSpec(const std::string& name) {
-  PREDICT_ASSIGN_OR_RETURN(RegistryEntry entry, Registry::Instance().Find(name));
-  return entry.spec;
+  PREDICT_ASSIGN_OR_RETURN(EntryPtr entry, Registry::Instance().Find(name));
+  return entry->spec;
 }
 
 Result<AlgorithmRunResult> RunAlgorithmByName(const std::string& name,
                                               const Graph& graph,
                                               const RunOptions& options) {
-  PREDICT_ASSIGN_OR_RETURN(RegistryEntry entry, Registry::Instance().Find(name));
-  return entry.runner(graph, options);
+  PREDICT_ASSIGN_OR_RETURN(EntryPtr entry, Registry::Instance().Find(name));
+  return entry->runner(graph, options);
 }
 
 std::vector<std::string> RegisteredAlgorithmNames() {

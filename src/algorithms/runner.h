@@ -40,6 +40,12 @@ struct AlgorithmRunResult {
 };
 
 /// Signature of a registered algorithm entry point.
+///
+/// Concurrency contract: a runner must be safe to invoke from multiple
+/// threads at once on the same const Graph (the PredictionService fans
+/// batched predictions out across a thread pool, sharing graphs and
+/// registry entries). Runners must treat the graph as read-only and keep
+/// all run state local; every builtin obeys this.
 using AlgorithmRunner = std::function<Result<AlgorithmRunResult>(
     const Graph& graph, const RunOptions& options)>;
 

@@ -10,8 +10,49 @@
 
 namespace predict {
 
+HistoryStore::HistoryStore(const HistoryStore& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  profiles_ = other.profiles_;
+}
+
+HistoryStore& HistoryStore::operator=(const HistoryStore& other) {
+  if (this == &other) return *this;
+  std::vector<RunProfile> copy = other.profiles();
+  std::lock_guard<std::mutex> lock(mutex_);
+  profiles_ = std::move(copy);
+  return *this;
+}
+
+HistoryStore::HistoryStore(HistoryStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  profiles_ = std::move(other.profiles_);
+}
+
+HistoryStore& HistoryStore::operator=(HistoryStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<RunProfile> stolen;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    stolen = std::move(other.profiles_);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  profiles_ = std::move(stolen);
+  return *this;
+}
+
 void HistoryStore::Add(RunProfile profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
   profiles_.push_back(std::move(profile));
+}
+
+size_t HistoryStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return profiles_.size();
+}
+
+std::vector<RunProfile> HistoryStore::profiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return profiles_;
 }
 
 std::vector<TrainingRow> HistoryStore::TrainingRowsFor(
@@ -22,6 +63,7 @@ std::vector<TrainingRow> HistoryStore::TrainingRowsFor(
 std::vector<TrainingRow> HistoryStore::TrainingRowsExcluding(
     const std::string& algorithm, const std::string& exclude_dataset) const {
   std::vector<TrainingRow> rows;
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const RunProfile& profile : profiles_) {
     if (profile.algorithm != algorithm) continue;
     if (!exclude_dataset.empty() && profile.dataset == exclude_dataset) {
@@ -46,6 +88,7 @@ Status HistoryStore::SaveToFile(const std::string& path) const {
   }
   out << ",runtime_seconds\n";
   out.precision(17);
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const RunProfile& profile : profiles_) {
     for (const IterationProfile& it : profile.iterations) {
       out << profile.algorithm << ',' << profile.dataset << ','

@@ -9,6 +9,7 @@
 #ifndef PREDICT_CORE_HISTORY_H_
 #define PREDICT_CORE_HISTORY_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,8 +19,18 @@
 namespace predict {
 
 /// \brief In-memory store of run profiles, persistable as CSV.
+///
+/// Thread-safe: Add and the readers may be called concurrently (the
+/// PredictionService shares one store across in-flight predictions).
+/// Readers return snapshots, never references into the store.
 class HistoryStore {
  public:
+  HistoryStore() = default;
+  HistoryStore(const HistoryStore& other);
+  HistoryStore& operator=(const HistoryStore& other);
+  HistoryStore(HistoryStore&& other) noexcept;
+  HistoryStore& operator=(HistoryStore&& other) noexcept;
+
   /// Records one run profile.
   void Add(RunProfile profile);
 
@@ -32,8 +43,10 @@ class HistoryStore {
   std::vector<TrainingRow> TrainingRowsExcluding(
       const std::string& algorithm, const std::string& exclude_dataset) const;
 
-  size_t size() const { return profiles_.size(); }
-  const std::vector<RunProfile>& profiles() const { return profiles_; }
+  size_t size() const;
+
+  /// Snapshot of every stored profile.
+  std::vector<RunProfile> profiles() const;
 
   /// CSV persistence. Columns: algorithm,dataset,num_vertices,num_edges,
   /// iteration,<7 features>,runtime_seconds.
@@ -41,6 +54,7 @@ class HistoryStore {
   static Result<HistoryStore> LoadFromFile(const std::string& path);
 
  private:
+  mutable std::mutex mutex_;
   std::vector<RunProfile> profiles_;
 };
 

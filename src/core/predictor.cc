@@ -10,66 +10,34 @@ double PredictionReport::PredictedCriticalRemoteBytes() const {
   return total;
 }
 
-Result<PredictionReport> Predictor::PredictRuntime(
-    const std::string& algorithm, const Graph& graph,
-    const std::string& dataset_name, const AlgorithmConfig& overrides) {
-  PREDICT_ASSIGN_OR_RETURN(AlgorithmSpec spec, FindAlgorithmSpec(algorithm));
-  PREDICT_ASSIGN_OR_RETURN(AlgorithmConfig actual_config,
-                           ResolveConfig(spec, overrides));
-
-  // 1. Sample (§3.2.1).
-  PREDICT_ASSIGN_OR_RETURN(Sample sample,
-                           SampleGraph(graph, options_.sampler));
-
-  // 2. Transform (§3.2.2).
-  PREDICT_ASSIGN_OR_RETURN(
-      AlgorithmConfig sample_config,
-      TransformConfigForSample(spec, actual_config, sample.realized_ratio,
-                               options_.transform));
-
-  // 3. Sample run with profiling (§3.2). Same engine configuration as the
-  // actual run (assumption iii).
-  RunOptions run_options;
-  run_options.engine = options_.engine;
-  run_options.config_overrides = sample_config;
-  PREDICT_ASSIGN_OR_RETURN(
-      AlgorithmRunResult sample_run,
-      RunAlgorithmByName(algorithm, sample.subgraph, run_options));
-
+Result<PredictionReport> AssemblePredictionReport(
+    const PredictionPipeline& stages, const Graph& graph,
+    const std::string& algorithm, const std::string& dataset_name,
+    const pipeline::SampleArtifact& sample,
+    const pipeline::TransformArtifact& transform,
+    const pipeline::ProfileArtifact& profile) {
   PredictionReport report;
   report.algorithm = algorithm;
   report.dataset = dataset_name;
-  report.sample_config = sample_config;
-  const TransformFunction& transform =
-      options_.transform != nullptr
-          ? *options_.transform
-          : static_cast<const TransformFunction&>(DefaultTransform::Instance());
-  report.transform_description = transform.Describe(spec);
-  report.realized_sampling_ratio = sample.realized_ratio;
-  report.sample_total_seconds = sample_run.stats.total_seconds;
-  report.sample_wall_seconds = sample_run.stats.wall_seconds;
-  report.sample_profile = ProfileFromRunStats(
-      algorithm, dataset_name.empty() ? "sample" : dataset_name + "_sample",
-      sample.subgraph.num_vertices(), sample.subgraph.num_edges(),
-      sample_run.stats);
+  report.sample_config = transform.sample_config;
+  report.transform_description = transform.description;
+  report.realized_sampling_ratio = sample.realized_ratio();
+  report.sample_total_seconds = profile.sample_total_seconds;
+  report.sample_wall_seconds = profile.sample_wall_seconds;
+  report.sample_profile = profile.sample_profile;
   report.predicted_iterations = report.sample_profile.num_iterations();
 
   // 4. Extrapolate (§3.4), iteration by iteration.
-  PREDICT_ASSIGN_OR_RETURN(report.factors,
-                           ComputeExtrapolationFactors(graph, sample.subgraph));
-  report.extrapolated_profile =
-      ExtrapolateProfile(report.sample_profile, report.factors);
+  PREDICT_ASSIGN_OR_RETURN(pipeline::ExtrapolationArtifact extrapolation,
+                           stages.extrapolate.Run(graph, sample, profile));
+  report.factors = extrapolation.factors;
+  report.extrapolated_profile = std::move(extrapolation.extrapolated_profile);
 
   // 5. Cost model: train on the sample run plus history of actual runs on
   // other datasets (§3.4 "Training Methodology").
-  std::vector<TrainingRow> rows = TrainingRowsFromProfile(report.sample_profile);
-  if (options_.history != nullptr) {
-    const std::vector<TrainingRow> history_rows =
-        options_.history->TrainingRowsExcluding(algorithm, dataset_name);
-    rows.insert(rows.end(), history_rows.begin(), history_rows.end());
-  }
-  PREDICT_ASSIGN_OR_RETURN(report.cost_model,
-                           CostModel::Train(rows, options_.cost_model));
+  PREDICT_ASSIGN_OR_RETURN(pipeline::ModelArtifact model,
+                           stages.fit.Run(profile, algorithm, dataset_name));
+  report.cost_model = std::move(model.model);
 
   // 6. Predict each iteration of the actual run.
   report.per_iteration_seconds =
@@ -79,6 +47,36 @@ Result<PredictionReport> Predictor::PredictRuntime(
     report.predicted_superstep_seconds += s;
   }
   return report;
+}
+
+Result<PredictionReport> Predictor::PredictRuntime(
+    const std::string& algorithm, const Graph& graph,
+    const std::string& dataset_name, const AlgorithmConfig& overrides) {
+  const PredictionPipeline stages(options_);
+
+  // Fail fast on an unknown algorithm or bad override before paying for
+  // the sampling pass.
+  const Status valid = stages.transform.Validate(algorithm, overrides);
+  if (!valid.ok()) return valid;
+
+  // 1. Sample (§3.2.1).
+  PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact sample,
+                           stages.sample.Run(graph));
+
+  // 2. Transform (§3.2.2).
+  PREDICT_ASSIGN_OR_RETURN(
+      pipeline::TransformArtifact transform,
+      stages.transform.Run(algorithm, overrides, sample.realized_ratio()));
+
+  // 3. Sample run with profiling (§3.2). Same engine configuration as the
+  // actual run (assumption iii).
+  PREDICT_ASSIGN_OR_RETURN(
+      pipeline::ProfileArtifact profile,
+      stages.profile.Run(algorithm, dataset_name, sample, transform));
+
+  // 4-6. Extrapolate, fit, predict.
+  return AssemblePredictionReport(stages, graph, algorithm, dataset_name,
+                                  sample, transform, profile);
 }
 
 PredictionEvaluation EvaluatePrediction(const PredictionReport& report,

@@ -7,6 +7,11 @@
 // iteration predicts the actual run's i-th iteration, so the number of
 // iterations enters implicitly (§3.4) — which is what makes PREDIcT work
 // for algorithms whose per-iteration runtime varies 100x.
+//
+// The methodology itself lives in the staged pipeline (pipeline/stages.h);
+// Predictor is the uncached end-to-end composition of those stages.
+// PredictionService (service/prediction_service.h) composes the same
+// stages with shared artifact caches for concurrent what-if traffic.
 
 #ifndef PREDICT_CORE_PREDICTOR_H_
 #define PREDICT_CORE_PREDICTOR_H_
@@ -21,6 +26,7 @@
 #include "core/features.h"
 #include "core/history.h"
 #include "core/transform.h"
+#include "pipeline/stages.h"
 #include "sampling/sampler.h"
 
 namespace predict {
@@ -82,6 +88,35 @@ struct PredictionReport {
   /// (the Figure-6 "remote message bytes" key feature).
   double PredictedCriticalRemoteBytes() const;
 };
+
+/// The five pipeline stages wired from one PredictorOptions. Immutable
+/// after construction and safe to share across threads; both Predictor
+/// and PredictionService run predictions through one of these.
+struct PredictionPipeline {
+  explicit PredictionPipeline(const PredictorOptions& options)
+      : sample(options.sampler),
+        transform(options.transform),
+        profile(options.engine),
+        fit(options.cost_model, options.history) {}
+
+  pipeline::SampleStage sample;
+  pipeline::TransformStage transform;
+  pipeline::ProfileStage profile;
+  pipeline::ExtrapolateStage extrapolate;
+  pipeline::FitStage fit;
+};
+
+/// Runs the back half of the pipeline (extrapolate -> fit -> predict)
+/// on already-computed front-half artifacts and assembles the full
+/// PredictionReport. Deterministic in its inputs: cached and freshly
+/// computed artifacts yield bit-identical reports (modulo
+/// sample_wall_seconds, which reports host timing).
+Result<PredictionReport> AssemblePredictionReport(
+    const PredictionPipeline& stages, const Graph& graph,
+    const std::string& algorithm, const std::string& dataset_name,
+    const pipeline::SampleArtifact& sample,
+    const pipeline::TransformArtifact& transform,
+    const pipeline::ProfileArtifact& profile);
 
 /// \brief Runs the PREDIcT methodology for one (algorithm, graph) pair.
 class Predictor {

@@ -42,6 +42,38 @@ uint64_t Graph::MemoryFootprintBytes() const {
   return bytes;
 }
 
+namespace {
+
+// FNV-1a over a byte range.
+inline uint64_t FnvMix(uint64_t hash, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t Graph::Fingerprint() const {
+  uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
+  const uint64_t v = num_vertices();
+  const uint64_t e = num_edges();
+  hash = FnvMix(hash, &v, sizeof(v));
+  hash = FnvMix(hash, &e, sizeof(e));
+  // The out CSR fully determines the structure (the in CSR is derived).
+  hash = FnvMix(hash, out_offsets_.data(),
+                out_offsets_.size() * sizeof(uint64_t));
+  hash = FnvMix(hash, out_targets_.data(),
+                out_targets_.size() * sizeof(VertexId));
+  if (is_weighted_) {
+    hash = FnvMix(hash, out_weights_.data(),
+                  out_weights_.size() * sizeof(float));
+  }
+  return hash == 0 ? 1 : hash;
+}
+
 std::string Graph::ToString() const {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "Graph(|V|=%llu, |E|=%llu%s)",

@@ -94,6 +94,14 @@ class Graph {
   /// graph into worker memory).
   uint64_t MemoryFootprintBytes() const;
 
+  /// Stable 64-bit content hash of the graph structure (vertex count, out
+  /// CSR arrays, weights), independent of how the Graph was constructed.
+  /// Identical structure always hashes equal; distinct structures collide
+  /// only with 64-bit-hash probability (FNV-1a is not cryptographic —
+  /// callers building cache keys on it should also key on |V|/|E|, as
+  /// pipeline::SampleKey does). O(V + E); never returns 0.
+  uint64_t Fingerprint() const;
+
   /// Human-readable one-line summary, e.g. "Graph(|V|=100000, |E|=854301)".
   std::string ToString() const;
 

@@ -1,0 +1,115 @@
+#include "pipeline/stages.h"
+
+#include <cstdio>
+
+#include "core/features.h"
+
+namespace predict::pipeline {
+
+SampleKey SampleKey::For(const Graph& graph, const SamplerOptions& options) {
+  return SampleKey{graph.Fingerprint(), graph.num_vertices(),
+                   graph.num_edges(), options};
+}
+
+std::string SampleKey::ToString() const {
+  char fp[96];
+  std::snprintf(fp, sizeof(fp), "fp=%016llx;v=%llu;e=%llu;",
+                static_cast<unsigned long long>(graph_fingerprint),
+                static_cast<unsigned long long>(graph_num_vertices),
+                static_cast<unsigned long long>(graph_num_edges));
+  return fp + SamplerOptionsKey(options);
+}
+
+std::string TransformArtifact::ConfigKey() const {
+  std::string key;
+  for (const auto& [name, value] : sample_config) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%.17g;", name.c_str(), value);
+    key += buf;
+  }
+  return key;
+}
+
+Result<SampleArtifact> SampleStage::Run(const Graph& graph) const {
+  SampleArtifact artifact;
+  artifact.key = SampleKey::For(graph, options_);
+  PREDICT_ASSIGN_OR_RETURN(artifact.sample, SampleGraph(graph, options_));
+  return artifact;
+}
+
+Status TransformStage::Validate(const std::string& algorithm,
+                                const AlgorithmConfig& overrides) const {
+  auto spec = FindAlgorithmSpec(algorithm);
+  if (!spec.ok()) return spec.status();
+  auto config = ResolveConfig(*spec, overrides);
+  if (!config.ok()) return config.status();
+  return Status::OK();
+}
+
+Result<TransformArtifact> TransformStage::Run(const std::string& algorithm,
+                                              const AlgorithmConfig& overrides,
+                                              double realized_ratio) const {
+  TransformArtifact artifact;
+  PREDICT_ASSIGN_OR_RETURN(artifact.spec, FindAlgorithmSpec(algorithm));
+  PREDICT_ASSIGN_OR_RETURN(artifact.actual_config,
+                           ResolveConfig(artifact.spec, overrides));
+  PREDICT_ASSIGN_OR_RETURN(
+      artifact.sample_config,
+      TransformConfigForSample(artifact.spec, artifact.actual_config,
+                               realized_ratio, custom_));
+  const TransformFunction& transform =
+      custom_ != nullptr
+          ? *custom_
+          : static_cast<const TransformFunction&>(DefaultTransform::Instance());
+  artifact.description = transform.Describe(artifact.spec);
+  return artifact;
+}
+
+Result<ProfileArtifact> ProfileStage::Run(
+    const std::string& algorithm, const std::string& dataset_name,
+    const SampleArtifact& sample, const TransformArtifact& transform) const {
+  RunOptions run_options;
+  run_options.engine = engine_;
+  run_options.config_overrides = transform.sample_config;
+  PREDICT_ASSIGN_OR_RETURN(
+      AlgorithmRunResult run,
+      RunAlgorithmByName(algorithm, sample.sample.subgraph, run_options));
+
+  ProfileArtifact artifact;
+  artifact.sample_total_seconds = run.stats.total_seconds;
+  artifact.sample_wall_seconds = run.stats.wall_seconds;
+  artifact.sample_profile = ProfileFromRunStats(
+      algorithm, dataset_name.empty() ? "sample" : dataset_name + "_sample",
+      sample.sample.subgraph.num_vertices(), sample.sample.subgraph.num_edges(),
+      run.stats);
+  return artifact;
+}
+
+Result<ExtrapolationArtifact> ExtrapolateStage::Run(
+    const Graph& full_graph, const SampleArtifact& sample,
+    const ProfileArtifact& profile) const {
+  ExtrapolationArtifact artifact;
+  PREDICT_ASSIGN_OR_RETURN(
+      artifact.factors,
+      ComputeExtrapolationFactors(full_graph, sample.sample.subgraph));
+  artifact.extrapolated_profile =
+      ExtrapolateProfile(profile.sample_profile, artifact.factors);
+  return artifact;
+}
+
+Result<ModelArtifact> FitStage::Run(const ProfileArtifact& profile,
+                                    const std::string& algorithm,
+                                    const std::string& exclude_dataset) const {
+  std::vector<TrainingRow> rows =
+      TrainingRowsFromProfile(profile.sample_profile);
+  if (history_ != nullptr) {
+    const std::vector<TrainingRow> history_rows =
+        history_->TrainingRowsExcluding(algorithm, exclude_dataset);
+    rows.insert(rows.end(), history_rows.begin(), history_rows.end());
+  }
+  ModelArtifact artifact;
+  PREDICT_ASSIGN_OR_RETURN(artifact.model, CostModel::Train(rows, options_));
+  return artifact;
+}
+
+}  // namespace predict::pipeline

@@ -1,0 +1,113 @@
+// The staged prediction pipeline: PREDIcT's Figure-1 methodology split
+// into five composable stages.
+//
+//   SampleStage      sample the graph (§3.2.1)
+//   TransformStage   map the actual run's config to the sample run (§3.2.2)
+//   ProfileStage     run the algorithm on the sample, profiled (§3.2)
+//   ExtrapolateStage scale the profile to full size (§3.4)
+//   FitStage         train the cost model on sample + history (§3.4)
+//
+// Each stage is an immutable value object: configured once, then Run()
+// any number of times from any thread (stages hold no mutable state).
+// Stages consume and produce the typed artifacts of artifacts.h, so any
+// stage can be exercised in isolation and any artifact can be cached and
+// reused — Predictor composes them end to end; PredictionService
+// interposes caches between them.
+
+#ifndef PREDICT_PIPELINE_STAGES_H_
+#define PREDICT_PIPELINE_STAGES_H_
+
+#include <string>
+
+#include "algorithms/runner.h"
+#include "common/result.h"
+#include "core/history.h"
+#include "core/transform.h"
+#include "pipeline/artifacts.h"
+
+namespace predict::pipeline {
+
+/// Stage 1: draws the sample and stamps it with its cache identity.
+class SampleStage {
+ public:
+  explicit SampleStage(SamplerOptions options) : options_(options) {}
+
+  Result<SampleArtifact> Run(const Graph& graph) const;
+
+  const SamplerOptions& options() const { return options_; }
+
+ private:
+  SamplerOptions options_;
+};
+
+/// Stage 2: resolves the algorithm's config and applies the transform
+/// function. Needs only the realized sampling ratio, not the sample
+/// itself, so it is cheap enough to run uncached per prediction.
+class TransformStage {
+ public:
+  /// `custom` overrides the paper's default rules; may be null. Not owned.
+  explicit TransformStage(const TransformFunction* custom = nullptr)
+      : custom_(custom) {}
+
+  /// Resolves the spec and config without applying the transform: the
+  /// fail-fast check compositions run *before* paying for SampleStage,
+  /// so a misspelled algorithm or bad override never costs a sampling
+  /// pass (or a cache slot).
+  Status Validate(const std::string& algorithm,
+                  const AlgorithmConfig& overrides) const;
+
+  Result<TransformArtifact> Run(const std::string& algorithm,
+                                const AlgorithmConfig& overrides,
+                                double realized_ratio) const;
+
+ private:
+  const TransformFunction* custom_;
+};
+
+/// Stage 3: the sample run. Executes the algorithm on the sampled
+/// subgraph with the transformed configuration and extracts the
+/// critical-worker profile. The dominant cost of a prediction — the
+/// artifact PredictionService caches most aggressively.
+class ProfileStage {
+ public:
+  explicit ProfileStage(bsp::EngineOptions engine) : engine_(engine) {}
+
+  /// `dataset_name` labels the profile ("<dataset>_sample").
+  Result<ProfileArtifact> Run(const std::string& algorithm,
+                              const std::string& dataset_name,
+                              const SampleArtifact& sample,
+                              const TransformArtifact& transform) const;
+
+ private:
+  bsp::EngineOptions engine_;
+};
+
+/// Stage 4: extrapolates the sample profile to the full graph.
+class ExtrapolateStage {
+ public:
+  Result<ExtrapolationArtifact> Run(const Graph& full_graph,
+                                    const SampleArtifact& sample,
+                                    const ProfileArtifact& profile) const;
+};
+
+/// Stage 5: trains the cost model on the sample run's rows plus the
+/// history store's rows for the same algorithm on *other* datasets (the
+/// paper's training methodology).
+class FitStage {
+ public:
+  /// `history` may be null (train on the sample rows alone). Not owned.
+  FitStage(CostModelOptions options, const HistoryStore* history)
+      : options_(options), history_(history) {}
+
+  Result<ModelArtifact> Run(const ProfileArtifact& profile,
+                            const std::string& algorithm,
+                            const std::string& exclude_dataset) const;
+
+ private:
+  CostModelOptions options_;
+  const HistoryStore* history_;
+};
+
+}  // namespace predict::pipeline
+
+#endif  // PREDICT_PIPELINE_STAGES_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <unordered_set>
 
@@ -203,6 +204,17 @@ const char* SamplerKindName(SamplerKind kind) {
   return "unknown";
 }
 
+std::string SamplerOptionsKey(const SamplerOptions& options) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s;ratio=%.17g;jump=%.17g;seedfrac=%.17g;burn=%.17g;seed=%llu",
+                SamplerKindName(options.kind), options.sampling_ratio,
+                options.jump_probability, options.seed_fraction,
+                options.forward_burning_p,
+                static_cast<unsigned long long>(options.seed));
+  return buf;
+}
+
 Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
                                              const SamplerOptions& options) {
   const uint64_t n = graph.num_vertices();
@@ -237,8 +249,9 @@ Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options) {
   Sample sample;
   sample.vertices = std::move(sub.original_id);
   sample.subgraph = std::move(sub.graph);
+  sample.original_num_vertices = graph.num_vertices();
   sample.realized_ratio = static_cast<double>(sample.vertices.size()) /
-                          static_cast<double>(graph.num_vertices());
+                          static_cast<double>(sample.original_num_vertices);
   return sample;
 }
 

@@ -47,15 +47,30 @@ struct SamplerOptions {
   double forward_burning_p = 0.35;
 
   uint64_t seed = 1;
+
+  bool operator==(const SamplerOptions& other) const = default;
 };
 
-/// A sampled vertex set plus its induced subgraph.
+/// Canonical textual form of the options, e.g.
+/// "BRJ;ratio=0.1;jump=0.15;seedfrac=0.01;burn=0.35;seed=1". Two options
+/// structs produce the same string iff they compare equal; cache keys
+/// (PredictionService) and log lines are built on it.
+std::string SamplerOptionsKey(const SamplerOptions& options);
+
+/// A sampled vertex set plus its induced subgraph. Self-contained: it
+/// records the original graph's size, so the realized ratio stays
+/// meaningful when the Sample is cached and consulted without the
+/// original graph at hand.
 struct Sample {
   /// Vertices of the original graph, in sampling order; position i became
   /// vertex i of `subgraph`.
   std::vector<VertexId> vertices;
   Graph subgraph;
-  /// |vertices| / |V_original|, the realized sampling ratio.
+  /// |V| of the graph the sample was drawn from.
+  uint64_t original_num_vertices = 0;
+  /// |vertices| / |V_original|, the realized sampling ratio. Set once at
+  /// sampling time; consumers (transform, reports) must read it from
+  /// here rather than recomputing it.
   double realized_ratio = 0.0;
 };
 

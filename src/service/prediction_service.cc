@@ -1,0 +1,179 @@
+#include "service/prediction_service.h"
+
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace predict {
+
+namespace {
+
+uint32_t ResolveThreads(int num_threads) {
+  if (num_threads >= 0) return static_cast<uint32_t>(num_threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+// A cache slot that deduplicates concurrent computation: whichever
+// thread first reaches call_once computes; everyone else blocks until
+// the result (value or error — both deterministic) is published.
+struct PredictionService::SampleEntry {
+  std::once_flag once;
+  Result<SamplePtr> result = Status::Internal("uncomputed");
+};
+
+struct PredictionService::ProfileEntry {
+  std::once_flag once;
+  Result<ProfilePtr> result = Status::Internal("uncomputed");
+};
+
+PredictionService::PredictionService(PredictionServiceOptions options)
+    : options_(std::move(options)),
+      stages_(options_.predictor),
+      pool_(ResolveThreads(options_.num_threads)) {}
+
+Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
+    const Graph& graph) {
+  auto compute = [&]() -> Result<SamplePtr> {
+    PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact artifact,
+                             stages_.sample.Run(graph));
+    return std::make_shared<const pipeline::SampleArtifact>(
+        std::move(artifact));
+  };
+
+  if (!options_.enable_sample_cache) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.sample_misses;
+    }
+    return compute();  // outside the lock: uncached work must still overlap
+  }
+
+  const std::string key =
+      pipeline::SampleKey::For(graph, stages_.sample.options()).ToString();
+  std::shared_ptr<SampleEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<SampleEntry>& slot = sample_cache_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<SampleEntry>();
+      ++stats_.sample_misses;
+    } else {
+      ++stats_.sample_hits;
+    }
+    entry = slot;
+  }
+  std::call_once(entry->once, [&] { entry->result = compute(); });
+  return entry->result;
+}
+
+Result<PredictionService::ProfilePtr> PredictionService::GetOrComputeProfile(
+    const std::string& profile_key, const std::string& algorithm,
+    const std::string& dataset, const pipeline::SampleArtifact& sample,
+    const pipeline::TransformArtifact& transform) {
+  auto compute = [&]() -> Result<ProfilePtr> {
+    PREDICT_ASSIGN_OR_RETURN(
+        pipeline::ProfileArtifact artifact,
+        stages_.profile.Run(algorithm, dataset, sample, transform));
+    return std::make_shared<const pipeline::ProfileArtifact>(
+        std::move(artifact));
+  };
+
+  if (!options_.enable_profile_cache) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.profile_misses;
+    }
+    return compute();  // outside the lock: uncached work must still overlap
+  }
+
+  std::shared_ptr<ProfileEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<ProfileEntry>& slot = profile_cache_[profile_key];
+    if (slot == nullptr) {
+      slot = std::make_shared<ProfileEntry>();
+      ++stats_.profile_misses;
+    } else {
+      ++stats_.profile_hits;
+    }
+    entry = slot;
+  }
+  std::call_once(entry->once, [&] { entry->result = compute(); });
+  return entry->result;
+}
+
+Result<PredictionReport> PredictionService::Predict(
+    const PredictionRequest& request) {
+  if (request.graph == nullptr) {
+    return Status::InvalidArgument("PredictionRequest.graph must not be null");
+  }
+  const Graph& graph = *request.graph;
+
+  // Fail fast on an unknown algorithm or bad override before sampling
+  // (and before occupying a sample-cache slot for a doomed request).
+  const Status valid =
+      stages_.transform.Validate(request.algorithm, request.overrides);
+  if (!valid.ok()) return valid;
+
+  // 1. Sample (cached on the graph's content + sampler options).
+  PREDICT_ASSIGN_OR_RETURN(SamplePtr sample, GetOrComputeSample(graph));
+
+  // 2. Transform (cheap; always recomputed).
+  PREDICT_ASSIGN_OR_RETURN(pipeline::TransformArtifact transform,
+                           stages_.transform.Run(request.algorithm,
+                                                 request.overrides,
+                                                 sample->realized_ratio()));
+
+  // 3. Sample run (cached on sample identity + algorithm + dataset label
+  // + transformed config — everything the profile depends on besides the
+  // service-wide engine options).
+  const std::string profile_key = sample->key.ToString() + "|" +
+                                  request.algorithm + "|" + request.dataset +
+                                  "|" + transform.ConfigKey();
+  PREDICT_ASSIGN_OR_RETURN(
+      ProfilePtr profile,
+      GetOrComputeProfile(profile_key, request.algorithm, request.dataset,
+                          *sample, transform));
+
+  // 4-6. Extrapolate, fit, predict — per request, never cached (history
+  // exclusion and the full graph differ per request).
+  return AssemblePredictionReport(stages_, graph, request.algorithm,
+                                  request.dataset, *sample, transform,
+                                  *profile);
+}
+
+std::vector<Result<PredictionReport>> PredictionService::PredictBatch(
+    const std::vector<PredictionRequest>& requests) {
+  // Slots are written by index: results are positionally deterministic no
+  // matter which pool thread answers which request.
+  std::vector<std::optional<Result<PredictionReport>>> slots(requests.size());
+  {
+    std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+    pool_.ParallelFor(requests.size(), [&](uint64_t i) {
+      slots[i].emplace(Predict(requests[i]));
+    });
+  }
+
+  std::vector<Result<PredictionReport>> results;
+  results.reserve(requests.size());
+  for (std::optional<Result<PredictionReport>>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+ServiceCacheStats PredictionService::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PredictionService::ClearCaches() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sample_cache_.clear();
+  profile_cache_.clear();
+}
+
+}  // namespace predict

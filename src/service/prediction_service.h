@@ -1,0 +1,132 @@
+// PredictionService: a thread-safe, caching front end over the staged
+// prediction pipeline, built for what-if traffic — schedulers asking
+// "how long will each of these algorithms take on each of these
+// datasets?" many times over.
+//
+// Two artifact caches amortize the expensive front half of the pipeline:
+//
+//   sample cache   (graph fingerprint, SamplerOptions) -> SampleArtifact
+//   profile cache  (sample key, algorithm, dataset, transformed config)
+//                  -> ProfileArtifact
+//
+// Both are shared across concurrent Predict calls: the first request for
+// a key computes the artifact while later requests for the same key wait
+// on it (no duplicated sampling or sample runs, no thundering herd).
+// PredictBatch fans requests out over a bsp::ThreadPool.
+//
+// Determinism contract: every stage is deterministic, so a report served
+// from warm caches under any concurrency is bit-identical to a cold
+// sequential Predictor::PredictRuntime — except sample_wall_seconds,
+// which reports host timing of whichever run produced the artifact.
+
+#ifndef PREDICT_SERVICE_PREDICTION_SERVICE_H_
+#define PREDICT_SERVICE_PREDICTION_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bsp/thread_pool.h"
+#include "common/result.h"
+#include "core/predictor.h"
+#include "pipeline/artifacts.h"
+
+namespace predict {
+
+/// One what-if query: predict `algorithm` on `*graph`.
+struct PredictionRequest {
+  std::string algorithm;
+  /// The full graph. Not owned; must outlive the call. Requests may
+  /// share one graph — the service reads it concurrently, never writes.
+  const Graph* graph = nullptr;
+  /// Labels profiles and excludes same-dataset history rows.
+  std::string dataset;
+  /// Overrides for the *actual* run's configuration.
+  AlgorithmConfig overrides;
+};
+
+struct PredictionServiceOptions {
+  /// Pipeline configuration shared by every request this service answers
+  /// (caches are only valid within one such configuration).
+  PredictorOptions predictor;
+
+  /// Host threads for PredictBatch fan-out: -1 = one per hardware
+  /// thread, 0 = inline on the caller. Independent of
+  /// predictor.engine.num_threads (the per-run simulation threads); for
+  /// batch serving, prefer engine.num_threads = 0 and let the batch
+  /// fan-out supply the parallelism.
+  int num_threads = -1;
+
+  bool enable_sample_cache = true;
+  bool enable_profile_cache = true;
+};
+
+/// Cumulative cache accounting. A "hit" includes joining an in-flight
+/// computation of the same key (shared work, not duplicated work).
+struct ServiceCacheStats {
+  uint64_t sample_hits = 0;
+  uint64_t sample_misses = 0;
+  uint64_t profile_hits = 0;
+  uint64_t profile_misses = 0;
+};
+
+/// \brief Concurrent, caching prediction server over one pipeline
+/// configuration. All public methods are thread-safe.
+class PredictionService {
+ public:
+  explicit PredictionService(PredictionServiceOptions options);
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Answers one request through the caches. Safe to call concurrently
+  /// with any other method.
+  Result<PredictionReport> Predict(const PredictionRequest& request);
+
+  /// Answers a batch, fanning out across the service's thread pool.
+  /// results[i] corresponds to requests[i]; outputs are bit-identical to
+  /// issuing the requests sequentially (any thread count, any request
+  /// order — see the determinism contract above).
+  std::vector<Result<PredictionReport>> PredictBatch(
+      const std::vector<PredictionRequest>& requests);
+
+  ServiceCacheStats cache_stats() const;
+
+  /// Drops every cached artifact (stats are kept).
+  void ClearCaches();
+
+  const PredictionServiceOptions& options() const { return options_; }
+
+ private:
+  struct SampleEntry;
+  struct ProfileEntry;
+
+  using SamplePtr = std::shared_ptr<const pipeline::SampleArtifact>;
+  using ProfilePtr = std::shared_ptr<const pipeline::ProfileArtifact>;
+
+  Result<SamplePtr> GetOrComputeSample(const Graph& graph);
+  Result<ProfilePtr> GetOrComputeProfile(
+      const std::string& profile_key, const std::string& algorithm,
+      const std::string& dataset, const pipeline::SampleArtifact& sample,
+      const pipeline::TransformArtifact& transform);
+
+  PredictionServiceOptions options_;
+  PredictionPipeline stages_;
+
+  /// Serializes PredictBatch callers (ThreadPool runs one batch at a
+  /// time); single Predict calls do not take this.
+  std::mutex batch_mutex_;
+  bsp::ThreadPool pool_;
+
+  mutable std::mutex mutex_;  // guards the two maps and stats_
+  std::unordered_map<std::string, std::shared_ptr<SampleEntry>> sample_cache_;
+  std::unordered_map<std::string, std::shared_ptr<ProfileEntry>> profile_cache_;
+  ServiceCacheStats stats_;
+};
+
+}  // namespace predict
+
+#endif  // PREDICT_SERVICE_PREDICTION_SERVICE_H_

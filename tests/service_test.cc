@@ -1,0 +1,280 @@
+// PredictionService tests: cache hit/miss accounting, and the
+// determinism contract — PredictBatch output is bit-identical to
+// sequential Predictor::PredictRuntime calls for any thread count and
+// any cache temperature (wall-clock fields excluded; they report host
+// timing).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "graph/generators.h"
+#include "service/prediction_service.h"
+
+namespace predict {
+namespace {
+
+Graph TestGraph(VertexId n, uint64_t seed) {
+  return GeneratePreferentialAttachment({n, 6, 0.3, seed}).MoveValue();
+}
+
+PredictorOptions TestPredictorOptions() {
+  PredictorOptions options;
+  options.sampler.sampling_ratio = 0.1;
+  options.sampler.seed = 5;
+  options.engine.num_workers = 4;
+  // Inline simulation: the batch fan-out supplies the parallelism.
+  options.engine.num_threads = 0;
+  return options;
+}
+
+PredictionServiceOptions TestServiceOptions(int num_threads = 0) {
+  PredictionServiceOptions options;
+  options.predictor = TestPredictorOptions();
+  options.num_threads = num_threads;
+  return options;
+}
+
+double PageRankTau(const Graph& g) {
+  return 0.001 / static_cast<double>(g.num_vertices());
+}
+
+// The 8-request batch of the acceptance criteria: 4 algorithms x 2
+// datasets, sharing one sample per dataset.
+std::vector<PredictionRequest> TestBatch(const Graph& g1, const Graph& g2) {
+  std::vector<PredictionRequest> requests;
+  for (const Graph* graph : {&g1, &g2}) {
+    const std::string dataset = graph == &g1 ? "ds1" : "ds2";
+    for (const std::string& algorithm :
+         {std::string("pagerank"), std::string("connected_components"),
+          std::string("topk_ranking"), std::string("neighborhood")}) {
+      PredictionRequest request;
+      request.algorithm = algorithm;
+      request.graph = graph;
+      request.dataset = dataset;
+      if (algorithm == "pagerank") {
+        request.overrides = {{"tau", PageRankTau(*graph)}};
+      }
+      requests.push_back(std::move(request));
+    }
+  }
+  return requests;
+}
+
+void ExpectProfilesIdentical(const RunProfile& a, const RunProfile& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].iteration, b.iterations[i].iteration);
+    EXPECT_EQ(a.iterations[i].runtime_seconds, b.iterations[i].runtime_seconds);
+    for (int f = 0; f < kNumFeatures; ++f) {
+      EXPECT_EQ(a.iterations[i].critical_features[f],
+                b.iterations[i].critical_features[f])
+          << "iteration " << i << " feature " << f;
+    }
+  }
+}
+
+// Bit-identical comparison of everything the prediction derives.
+// sample_wall_seconds is the one host-timing field and is excluded.
+void ExpectReportsIdentical(const PredictionReport& a,
+                            const PredictionReport& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.predicted_iterations, b.predicted_iterations);
+  EXPECT_EQ(a.per_iteration_seconds, b.per_iteration_seconds);
+  EXPECT_EQ(a.predicted_superstep_seconds, b.predicted_superstep_seconds);
+  EXPECT_EQ(a.sample_config, b.sample_config);
+  EXPECT_EQ(a.transform_description, b.transform_description);
+  EXPECT_EQ(a.factors.vertex_factor, b.factors.vertex_factor);
+  EXPECT_EQ(a.factors.edge_factor, b.factors.edge_factor);
+  EXPECT_EQ(a.realized_sampling_ratio, b.realized_sampling_ratio);
+  EXPECT_EQ(a.sample_total_seconds, b.sample_total_seconds);
+  EXPECT_EQ(a.cost_model.model().feature_indices,
+            b.cost_model.model().feature_indices);
+  EXPECT_EQ(a.cost_model.model().coefficients,
+            b.cost_model.model().coefficients);
+  EXPECT_EQ(a.cost_model.model().intercept, b.cost_model.model().intercept);
+  EXPECT_EQ(a.cost_model.model().r_squared, b.cost_model.model().r_squared);
+  ExpectProfilesIdentical(a.sample_profile, b.sample_profile);
+  ExpectProfilesIdentical(a.extrapolated_profile, b.extrapolated_profile);
+}
+
+// ----------------------------------------------------------------- errors
+
+TEST(PredictionServiceTest, NullGraphRejected) {
+  PredictionService service(TestServiceOptions());
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  EXPECT_TRUE(service.Predict(request).status().IsInvalidArgument());
+}
+
+TEST(PredictionServiceTest, UnknownAlgorithmFailsFastWithoutSampling) {
+  const Graph g = TestGraph(2000, 31);
+  PredictionService service(TestServiceOptions());
+  PredictionRequest request;
+  request.algorithm = "kmeans";
+  request.graph = &g;
+  EXPECT_TRUE(service.Predict(request).status().IsNotFound());
+  // The doomed request never sampled nor touched the caches.
+  EXPECT_EQ(service.cache_stats().sample_misses, 0u);
+  request.algorithm = "connected_components";
+  request.overrides = {{"zzz", 1.0}};
+  EXPECT_TRUE(service.Predict(request).status().IsInvalidArgument());
+  EXPECT_EQ(service.cache_stats().sample_misses, 0u);
+  // A good request pays the one sampling.
+  request.overrides = {};
+  EXPECT_TRUE(service.Predict(request).ok());
+  EXPECT_EQ(service.cache_stats().sample_misses, 1u);
+  EXPECT_EQ(service.cache_stats().sample_hits, 0u);
+}
+
+// ------------------------------------------------------- cache accounting
+
+TEST(PredictionServiceTest, CacheHitMissAccounting) {
+  const Graph g = TestGraph(3000, 32);
+  PredictionService service(TestServiceOptions());
+  PredictionRequest request;
+  request.algorithm = "connected_components";
+  request.graph = &g;
+  request.dataset = "ds";
+
+  ASSERT_TRUE(service.Predict(request).ok());
+  ServiceCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.sample_misses, 1u);
+  EXPECT_EQ(stats.sample_hits, 0u);
+  EXPECT_EQ(stats.profile_misses, 1u);
+  EXPECT_EQ(stats.profile_hits, 0u);
+
+  // Same request again: both caches hit.
+  ASSERT_TRUE(service.Predict(request).ok());
+  stats = service.cache_stats();
+  EXPECT_EQ(stats.sample_misses, 1u);
+  EXPECT_EQ(stats.sample_hits, 1u);
+  EXPECT_EQ(stats.profile_misses, 1u);
+  EXPECT_EQ(stats.profile_hits, 1u);
+
+  // Different algorithm on the same graph: sample hit, profile miss.
+  request.algorithm = "neighborhood";
+  ASSERT_TRUE(service.Predict(request).ok());
+  stats = service.cache_stats();
+  EXPECT_EQ(stats.sample_misses, 1u);
+  EXPECT_EQ(stats.sample_hits, 2u);
+  EXPECT_EQ(stats.profile_misses, 2u);
+  EXPECT_EQ(stats.profile_hits, 1u);
+}
+
+TEST(PredictionServiceTest, BatchAccountsOneSampleMissPerDistinctGraph) {
+  const Graph g1 = TestGraph(3000, 33);
+  const Graph g2 = TestGraph(3500, 34);
+  PredictionService service(TestServiceOptions(4));
+  const std::vector<PredictionRequest> requests = TestBatch(g1, g2);
+  const auto results = service.PredictBatch(requests);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << "request " << i << ": "
+                                 << results[i].status().ToString();
+  }
+  const ServiceCacheStats stats = service.cache_stats();
+  // 8 requests over 2 graphs: exactly 2 sample computations, no
+  // duplicated work even with concurrent first requests.
+  EXPECT_EQ(stats.sample_misses, 2u);
+  EXPECT_EQ(stats.sample_hits, 6u);
+  EXPECT_EQ(stats.profile_misses, 8u);  // all (algorithm, dataset) distinct
+  EXPECT_EQ(stats.profile_hits, 0u);
+}
+
+TEST(PredictionServiceTest, DisabledCachesAlwaysMiss) {
+  const Graph g = TestGraph(2000, 35);
+  PredictionServiceOptions options = TestServiceOptions();
+  options.enable_sample_cache = false;
+  options.enable_profile_cache = false;
+  PredictionService service(options);
+  PredictionRequest request;
+  request.algorithm = "connected_components";
+  request.graph = &g;
+  ASSERT_TRUE(service.Predict(request).ok());
+  ASSERT_TRUE(service.Predict(request).ok());
+  const ServiceCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.sample_misses, 2u);
+  EXPECT_EQ(stats.sample_hits, 0u);
+  EXPECT_EQ(stats.profile_misses, 2u);
+  EXPECT_EQ(stats.profile_hits, 0u);
+}
+
+TEST(PredictionServiceTest, ClearCachesForcesRecomputation) {
+  const Graph g = TestGraph(2000, 36);
+  PredictionService service(TestServiceOptions());
+  PredictionRequest request;
+  request.algorithm = "connected_components";
+  request.graph = &g;
+  ASSERT_TRUE(service.Predict(request).ok());
+  service.ClearCaches();
+  ASSERT_TRUE(service.Predict(request).ok());
+  const ServiceCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.sample_misses, 2u);
+  EXPECT_EQ(stats.profile_misses, 2u);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(PredictionServiceTest, PredictMatchesPredictorBitIdentically) {
+  const Graph g = TestGraph(4000, 37);
+  PredictionService service(TestServiceOptions());
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  request.graph = &g;
+  request.dataset = "ds";
+  request.overrides = {{"tau", PageRankTau(g)}};
+
+  auto served = service.Predict(request);
+  ASSERT_TRUE(served.ok());
+  Predictor predictor(TestPredictorOptions());
+  auto direct = predictor.PredictRuntime("pagerank", g, "ds", request.overrides);
+  ASSERT_TRUE(direct.ok());
+  ExpectReportsIdentical(*served, *direct);
+
+  // Warm repeat (both caches hit): still bit-identical.
+  auto warm = service.Predict(request);
+  ASSERT_TRUE(warm.ok());
+  ExpectReportsIdentical(*warm, *direct);
+}
+
+TEST(PredictionServiceTest, BatchBitIdenticalToSequentialForAnyThreadCount) {
+  const Graph g1 = TestGraph(4000, 38);
+  const Graph g2 = TestGraph(4500, 39);
+  const std::vector<PredictionRequest> requests = TestBatch(g1, g2);
+
+  // Sequential cold baseline through the uncached Predictor.
+  Predictor predictor(TestPredictorOptions());
+  std::vector<PredictionReport> baseline;
+  for (const PredictionRequest& request : requests) {
+    auto report = predictor.PredictRuntime(
+        request.algorithm, *request.graph, request.dataset, request.overrides);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    baseline.push_back(std::move(report).MoveValue());
+  }
+
+  for (const int threads : {0, 1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    PredictionService service(TestServiceOptions(threads));
+    // Cold pass, then a fully warm pass: both must match the baseline.
+    for (int pass = 0; pass < 2; ++pass) {
+      SCOPED_TRACE("pass=" + std::to_string(pass));
+      const auto results = service.PredictBatch(requests);
+      ASSERT_EQ(results.size(), requests.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << "request " << i << ": "
+                                     << results[i].status().ToString();
+        ExpectReportsIdentical(*results[i], baseline[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace predict

@@ -10,6 +10,10 @@
 //                         [--ratio R] [--config k=v]... [--workers N]
 //                         [--history FILE] [--save-history FILE]
 //                         [--verify]
+//   predict_cli batch     --algorithms A,B,... --datasets N1,N2,...
+//                         [--ratio R] [--method BRJ|RJ|MHRW|FF] [--seed N]
+//                         [--scale S] [--workers N] [--threads T]
+//                         [--history FILE]
 //   predict_cli bound     --epsilon E [--damping D]
 //
 // Graph files: edge-list text ("src dst [weight]") or PRDG binary.
@@ -30,6 +34,7 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "sampling/quality.h"
+#include "service/prediction_service.h"
 
 namespace {
 
@@ -323,6 +328,101 @@ int CmdPredict(const Flags& flags) {
   return 0;
 }
 
+// Fans (algorithm x dataset) what-if requests through the caching
+// PredictionService and prints one table row per request.
+int CmdBatch(const Flags& flags) {
+  const std::vector<std::string> algorithms =
+      SplitString(GetFlag(flags, "algorithms"), ',');
+  const std::vector<std::string> dataset_names =
+      SplitString(GetFlag(flags, "datasets"), ',');
+  if (algorithms.empty() || algorithms[0].empty() || dataset_names.empty() ||
+      dataset_names[0].empty()) {
+    std::fprintf(stderr,
+                 "batch needs --algorithms A,B,... and --datasets N1,N2,...\n");
+    return 2;
+  }
+  const double scale = std::atof(GetFlag(flags, "scale", "1.0").c_str());
+
+  // Graphs must outlive the requests (the service borrows them).
+  std::vector<Graph> graphs;
+  graphs.reserve(dataset_names.size());
+  for (const std::string& name : dataset_names) {
+    auto graph = MakeDataset(name, scale);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    graphs.push_back(std::move(graph).MoveValue());
+  }
+
+  PredictionServiceOptions options;
+  options.predictor.sampler.kind =
+      ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
+  options.predictor.sampler.sampling_ratio =
+      std::atof(GetFlag(flags, "ratio", "0.1").c_str());
+  options.predictor.sampler.seed =
+      std::strtoull(GetFlag(flags, "seed", "42").c_str(), nullptr, 10);
+  options.predictor.engine = EngineFromFlags(flags);
+  // Serving configuration: parallelism comes from the batch fan-out, not
+  // from per-run simulation threads.
+  options.predictor.engine.num_threads = 0;
+  options.num_threads = std::atoi(GetFlag(flags, "threads", "-1").c_str());
+
+  std::unique_ptr<HistoryStore> history;
+  const std::string history_file = GetFlag(flags, "history");
+  if (!history_file.empty()) {
+    auto loaded = HistoryStore::LoadFromFile(history_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    history = std::make_unique<HistoryStore>(std::move(loaded).MoveValue());
+    options.predictor.history = history.get();
+  }
+
+  PredictionService service(options);
+  std::vector<PredictionRequest> requests;
+  for (size_t d = 0; d < graphs.size(); ++d) {
+    for (const std::string& algorithm : algorithms) {
+      PredictionRequest request;
+      request.algorithm = algorithm;
+      request.graph = &graphs[d];
+      request.dataset = dataset_names[d];
+      requests.push_back(std::move(request));
+    }
+  }
+
+  const auto results = service.PredictBatch(requests);
+
+  std::printf("%-22s %-8s %6s %14s %8s %8s\n", "algorithm", "dataset", "iters",
+              "predicted", "R2", "ratio");
+  int failures = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::printf("%-22s %-8s  %s\n", requests[i].algorithm.c_str(),
+                  requests[i].dataset.c_str(),
+                  results[i].status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const PredictionReport& report = *results[i];
+    std::printf("%-22s %-8s %6d %14s %8.3f %8.3f\n",
+                requests[i].algorithm.c_str(), requests[i].dataset.c_str(),
+                report.predicted_iterations,
+                FormatSeconds(report.predicted_superstep_seconds).c_str(),
+                report.cost_model.r_squared(), report.realized_sampling_ratio);
+  }
+  const ServiceCacheStats stats = service.cache_stats();
+  std::printf("\n%zu requests; sample cache %llu hits / %llu misses, profile "
+              "cache %llu hits / %llu misses\n",
+              requests.size(),
+              static_cast<unsigned long long>(stats.sample_hits),
+              static_cast<unsigned long long>(stats.sample_misses),
+              static_cast<unsigned long long>(stats.profile_hits),
+              static_cast<unsigned long long>(stats.profile_misses));
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdBound(const Flags& flags) {
   const double epsilon = std::atof(GetFlag(flags, "epsilon", "0.001").c_str());
   const double damping = std::atof(GetFlag(flags, "damping", "0.85").c_str());
@@ -347,6 +447,8 @@ int Usage() {
       "  run        --algorithm A (--dataset N | --graph F) [--config k=v]...\n"
       "  predict    --algorithm A (--dataset N | --graph F) [--ratio R]\n"
       "             [--config k=v]... [--history F] [--verify] [--save-history F]\n"
+      "  batch      --algorithms A,B,... --datasets N1,N2,... [--ratio R]\n"
+      "             [--threads T] [--workers N] [--scale S] [--history F]\n"
       "  bound      --epsilon E [--damping D]\n"
       "algorithms:");
   for (const auto& name : RegisteredAlgorithmNames()) {
@@ -371,6 +473,7 @@ int main(int argc, char** argv) {
   if (command == "sample") return CmdSample(flags);
   if (command == "run") return CmdRun(flags);
   if (command == "predict") return CmdPredict(flags);
+  if (command == "batch") return CmdBatch(flags);
   if (command == "bound") return CmdBound(flags);
   return Usage();
 }
