@@ -47,6 +47,31 @@ void BM_EffectiveDiameter(benchmark::State& state) {
 }
 BENCHMARK(BM_EffectiveDiameter)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
+void BM_InducedSubgraph(benchmark::State& state) {
+  SamplerOptions options;
+  options.kind = SamplerKind::kBiasedRandomJump;
+  options.sampling_ratio = static_cast<double>(state.range(0)) / 100.0;
+  const auto vertices = SampleVertices(BenchGraph(), options).MoveValue();
+  for (auto _ : state) {
+    auto sub = InducedSubgraph(BenchGraph(), vertices);
+    benchmark::DoNotOptimize(sub);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(vertices.size()));
+}
+BENCHMARK(BM_InducedSubgraph)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_AverageClusteringCoefficient(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AverageClusteringCoefficient(
+        BenchGraph(), static_cast<uint32_t>(state.range(0)), 7));
+  }
+}
+BENCHMARK(BM_AverageClusteringCoefficient)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BrjSampling(benchmark::State& state) {
   SamplerOptions options;
   options.kind = SamplerKind::kBiasedRandomJump;

@@ -1,9 +1,61 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 namespace predict {
+
+Graph::Graph(const Graph& other)
+    : out_offsets_(other.out_offsets_),
+      out_targets_(other.out_targets_),
+      out_weights_(other.out_weights_),
+      in_offsets_(other.in_offsets_),
+      in_sources_(other.in_sources_),
+      is_weighted_(other.is_weighted_),
+      fingerprint_cache_(
+          other.fingerprint_cache_.load(std::memory_order_relaxed)) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  out_offsets_ = other.out_offsets_;
+  out_targets_ = other.out_targets_;
+  out_weights_ = other.out_weights_;
+  in_offsets_ = other.in_offsets_;
+  in_sources_ = other.in_sources_;
+  is_weighted_ = other.is_weighted_;
+  fingerprint_cache_.store(
+      other.fingerprint_cache_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : out_offsets_(std::move(other.out_offsets_)),
+      out_targets_(std::move(other.out_targets_)),
+      out_weights_(std::move(other.out_weights_)),
+      in_offsets_(std::move(other.in_offsets_)),
+      in_sources_(std::move(other.in_sources_)),
+      is_weighted_(other.is_weighted_),
+      fingerprint_cache_(
+          other.fingerprint_cache_.load(std::memory_order_relaxed)) {
+  other.fingerprint_cache_.store(0, std::memory_order_relaxed);
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  out_offsets_ = std::move(other.out_offsets_);
+  out_targets_ = std::move(other.out_targets_);
+  out_weights_ = std::move(other.out_weights_);
+  in_offsets_ = std::move(other.in_offsets_);
+  in_sources_ = std::move(other.in_sources_);
+  is_weighted_ = other.is_weighted_;
+  fingerprint_cache_.store(
+      other.fingerprint_cache_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.fingerprint_cache_.store(0, std::memory_order_relaxed);
+  return *this;
+}
 
 Result<Graph> Graph::FromEdges(VertexId num_vertices,
                                const std::vector<Edge>& edges) {
@@ -17,6 +69,36 @@ Result<Graph> Graph::FromEdges(VertexId num_vertices,
   GraphBuilder builder(num_vertices);
   builder.AddEdges(std::move(edges));
   return builder.Build();
+}
+
+Graph Graph::FromCsr(std::vector<uint64_t> out_offsets,
+                     std::vector<VertexId> out_targets,
+                     std::vector<float> out_weights,
+                     std::vector<uint64_t> in_offsets,
+                     std::vector<VertexId> in_sources) {
+  assert(!out_offsets.empty() && out_offsets.size() == in_offsets.size());
+  assert(out_offsets.front() == 0 && in_offsets.front() == 0);
+  assert(out_offsets.back() == out_targets.size());
+  assert(in_offsets.back() == in_sources.size());
+  assert(out_targets.size() == in_sources.size());
+  assert(out_weights.empty() || out_weights.size() == out_targets.size());
+#ifndef NDEBUG
+  const uint64_t v_count = out_offsets.size() - 1;
+  for (uint64_t v = 0; v < v_count; ++v) {
+    assert(out_offsets[v] <= out_offsets[v + 1]);
+    assert(in_offsets[v] <= in_offsets[v + 1]);
+  }
+  for (const VertexId t : out_targets) assert(t < v_count);
+  for (const VertexId s : in_sources) assert(s < v_count);
+#endif
+  Graph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+  g.out_weights_ = std::move(out_weights);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_sources_ = std::move(in_sources);
+  g.is_weighted_ = !g.out_weights_.empty();
+  return g;
 }
 
 std::vector<Edge> Graph::ToEdgeList() const {
@@ -54,9 +136,17 @@ inline uint64_t FnvMix(uint64_t hash, const void* data, size_t bytes) {
   return hash;
 }
 
+// Process-wide count of full-CSR fingerprint scans; lets tests assert
+// the memoization contract ("hashed exactly once per Graph").
+std::atomic<uint64_t> g_fingerprint_computations{0};
+
 }  // namespace
 
 uint64_t Graph::Fingerprint() const {
+  const uint64_t cached = fingerprint_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+
+  g_fingerprint_computations.fetch_add(1, std::memory_order_relaxed);
   uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
   const uint64_t v = num_vertices();
   const uint64_t e = num_edges();
@@ -71,7 +161,15 @@ uint64_t Graph::Fingerprint() const {
     hash = FnvMix(hash, out_weights_.data(),
                   out_weights_.size() * sizeof(float));
   }
-  return hash == 0 ? 1 : hash;
+  if (hash == 0) hash = 1;
+  // Benign race: concurrent first callers compute the same content hash
+  // and store the same value.
+  fingerprint_cache_.store(hash, std::memory_order_relaxed);
+  return hash;
+}
+
+uint64_t Graph::FingerprintComputationsForTest() {
+  return g_fingerprint_computations.load(std::memory_order_relaxed);
 }
 
 std::string Graph::ToString() const {
@@ -100,15 +198,32 @@ Result<Graph> GraphBuilder::Build() {
                  edges_.end());
   }
 
-  if (dedup_parallel_edges_) {
-    std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
-      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-    });
-    edges_.erase(std::unique(edges_.begin(), edges_.end(),
-                             [](const Edge& a, const Edge& b) {
-                               return a.src == b.src && a.dst == b.dst;
-                             }),
-                 edges_.end());
+  if (dedup_parallel_edges_ && !edges_.empty()) {
+    // Counting sort by src (stable), then sort + dedup each per-source
+    // bucket by dst. Replaces the former O(E log E) whole-list comparator
+    // sort with O(E + sum_b |b| log |b|) work, and makes the documented
+    // "first weight wins" contract deterministic: the stable bucket pass
+    // keeps, among parallel edges, the one added to the builder first.
+    std::vector<uint64_t> offsets(num_vertices_ + 1, 0);
+    for (const Edge& e : edges_) offsets[e.src + 1]++;
+    for (VertexId v = 0; v < num_vertices_; ++v) offsets[v + 1] += offsets[v];
+    std::vector<Edge> sorted(edges_.size());
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges_) sorted[cursor[e.src]++] = e;
+    uint64_t write = 0;
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      const auto begin = sorted.begin() + static_cast<int64_t>(offsets[v]);
+      const auto end = sorted.begin() + static_cast<int64_t>(offsets[v + 1]);
+      std::stable_sort(begin, end, [](const Edge& a, const Edge& b) {
+        return a.dst < b.dst;
+      });
+      for (auto it = begin; it != end; ++it) {
+        if (it != begin && it->dst == (it - 1)->dst) continue;
+        sorted[write++] = *it;
+      }
+    }
+    sorted.resize(write);
+    edges_ = std::move(sorted);
   }
 
   Graph g;

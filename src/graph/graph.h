@@ -9,6 +9,7 @@
 #ifndef PREDICT_GRAPH_GRAPH_H_
 #define PREDICT_GRAPH_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -44,6 +45,15 @@ class Graph {
  public:
   Graph() = default;
 
+  // The memoized fingerprint cache is an atomic, so the compiler-written
+  // special members are unavailable; these copy/move the CSR arrays and
+  // carry the cache along (the fingerprint is content-based, so a copy
+  // shares it validly).
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+
   /// Builds a graph from an edge list. Vertices are [0, num_vertices);
   /// edges referencing vertices outside that range are rejected.
   static Result<Graph> FromEdges(VertexId num_vertices,
@@ -54,6 +64,23 @@ class Graph {
   /// the caller's edge list is expendable.
   static Result<Graph> FromEdges(VertexId num_vertices,
                                  std::vector<Edge>&& edges);
+
+  /// \brief Trusted constructor from prebuilt CSR arrays; the fast path
+  /// for transforms that assemble adjacency directly (InducedSubgraph,
+  /// Transpose, ToUndirected) without an edge-list round trip.
+  ///
+  /// The caller guarantees the standard CSR invariants: both offset
+  /// arrays have size V+1, start at 0, are non-decreasing, and end at
+  /// the edge count; every target/source id is < V; `out_weights` is
+  /// either empty (unweighted) or parallel to `out_targets` with at
+  /// least one weight != 1.0f; the in arrays describe exactly the
+  /// reverse of the out arrays. Invariants are checked with assert()
+  /// in debug builds only — this is not an input-validation API.
+  static Graph FromCsr(std::vector<uint64_t> out_offsets,
+                       std::vector<VertexId> out_targets,
+                       std::vector<float> out_weights,
+                       std::vector<uint64_t> in_offsets,
+                       std::vector<VertexId> in_sources);
 
   uint64_t num_vertices() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
   uint64_t num_edges() const { return out_targets_.size(); }
@@ -86,6 +113,15 @@ class Graph {
             in_sources_.data() + in_offsets_[v + 1]};
   }
 
+  /// Whole-array views of the CSR structure, for code that walks or
+  /// re-assembles adjacency wholesale (transforms, serialization) rather
+  /// than per vertex.
+  std::span<const uint64_t> out_offsets() const { return out_offsets_; }
+  std::span<const VertexId> out_targets() const { return out_targets_; }
+  std::span<const float> out_weights() const { return out_weights_; }
+  std::span<const uint64_t> in_offsets() const { return in_offsets_; }
+  std::span<const VertexId> in_sources() const { return in_sources_; }
+
   /// Materializes the edge list (in CSR order). O(E).
   std::vector<Edge> ToEdgeList() const;
 
@@ -99,8 +135,18 @@ class Graph {
   /// Identical structure always hashes equal; distinct structures collide
   /// only with 64-bit-hash probability (FNV-1a is not cryptographic —
   /// callers building cache keys on it should also key on |V|/|E|, as
-  /// pipeline::SampleKey does). O(V + E); never returns 0.
+  /// pipeline::SampleKey does). Never returns 0.
+  ///
+  /// Memoized: the O(V + E) scan runs once per Graph instance (copies
+  /// inherit the cached value) and the result is served from a cache
+  /// thereafter, so hot cache-key paths (pipeline::SampleKey per
+  /// PredictionService request) pay a single atomic load. Thread-safe;
+  /// concurrent first calls may redundantly compute the same value.
   uint64_t Fingerprint() const;
+
+  /// Number of full-CSR fingerprint scans performed process-wide since
+  /// start. Test-only observability for the memoization contract.
+  static uint64_t FingerprintComputationsForTest();
 
   /// Human-readable one-line summary, e.g. "Graph(|V|=100000, |E|=854301)".
   std::string ToString() const;
@@ -114,6 +160,9 @@ class Graph {
   std::vector<uint64_t> in_offsets_;   // size V+1
   std::vector<VertexId> in_sources_;   // size E
   bool is_weighted_ = false;
+
+  // 0 = not yet computed (Fingerprint() itself never yields 0).
+  mutable std::atomic<uint64_t> fingerprint_cache_{0};
 };
 
 /// \brief Incremental graph construction.

@@ -1,16 +1,29 @@
 #include "graph/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <numeric>
-#include <queue>
 
+#include "bsp/thread_pool.h"
 #include "common/rng.h"
 
 namespace predict {
 
 namespace {
+
+// Runs fn(i) for i in [0, count): on the pool when one with worker
+// threads is supplied, inline otherwise. Callers own determinism — fn
+// must write only to slot i so invocation order cannot matter.
+void ForEachIndex(bsp::ThreadPool* pool, uint64_t count,
+                  const std::function<void(uint64_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->ParallelFor(count, fn);
+  } else {
+    for (uint64_t i = 0; i < count; ++i) fn(i);
+  }
+}
 
 DegreeStats StatsFromSequence(std::vector<double> degrees) {
   DegreeStats stats;
@@ -113,37 +126,139 @@ double LargestComponentFraction(const Graph& graph) {
 }
 
 double EffectiveDiameter(const Graph& graph, double quantile,
-                         uint32_t num_sources, uint64_t seed) {
+                         uint32_t num_sources, uint64_t seed,
+                         bsp::ThreadPool* pool) {
   const uint64_t n = graph.num_vertices();
   if (n == 0) return 0.0;
   Rng rng(seed);
   const uint64_t sources = std::min<uint64_t>(num_sources, n);
   const auto picks = Rng(rng).SampleWithoutReplacement(n, sources);
 
-  // Histogram of hop distances over all reached pairs (undirected BFS).
-  std::vector<uint64_t> hop_histogram;
-  std::vector<uint32_t> dist(n);
-  constexpr uint32_t kUnreached = 0xFFFFFFFFu;
-  for (const uint64_t src64 : picks) {
-    const VertexId src = static_cast<VertexId>(src64);
-    std::fill(dist.begin(), dist.end(), kUnreached);
-    dist[src] = 0;
-    std::queue<VertexId> queue;
-    queue.push(src);
-    while (!queue.empty()) {
-      const VertexId v = queue.front();
-      queue.pop();
-      const uint32_t d = dist[v] + 1;
-      auto visit = [&](VertexId u) {
-        if (dist[u] == kUnreached) {
-          dist[u] = d;
-          if (hop_histogram.size() <= d) hop_histogram.resize(d + 1, 0);
-          hop_histogram[d]++;
-          queue.push(u);
+  // Merged undirected adjacency, built once and shared read-only by
+  // every source: one contiguous neighbor range per vertex instead of
+  // two separate span walks per BFS step.
+  std::vector<uint64_t> und_offsets(n + 1, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    und_offsets[v + 1] = und_offsets[v] + graph.out_degree(v) +
+                         graph.in_degree(static_cast<VertexId>(v));
+  }
+  std::vector<VertexId> und_targets(und_offsets[n]);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint64_t slot = und_offsets[v];
+    const auto vid = static_cast<VertexId>(v);
+    for (const VertexId u : graph.out_neighbors(vid)) und_targets[slot++] = u;
+    for (const VertexId u : graph.in_neighbors(vid)) und_targets[slot++] = u;
+  }
+
+  // One exact undirected BFS per source, fanned out across the pool.
+  //
+  // The BFS is level-synchronous and direction-optimizing (Beamer et
+  // al.): bit-per-vertex level sets, top-down expansion for thin
+  // frontiers, bottom-up ("which unvisited vertex has a parent in the
+  // current level?") for the heavy middle levels of these small-diameter
+  // graphs. Both directions compute the same level sets by definition —
+  // a vertex is at level L iff it is unvisited after L-1 levels and
+  // adjacent to level L-1 — and the hop histogram needs only the level
+  // *sizes*, so this produces exactly the per-vertex-distance histogram
+  // the original queue BFS did. Each BFS owns slot i of per_source;
+  // histograms are merged in source order afterwards (and hop counts are
+  // integers), so the final histogram is also independent of which
+  // thread ran which source.
+  std::vector<std::vector<uint64_t>> per_source(picks.size());
+  const uint64_t words = (n + 63) / 64;
+  const uint64_t last_word_mask =
+      (n % 64) == 0 ? ~0ULL : (1ULL << (n % 64)) - 1;
+  const uint64_t und_edges = und_offsets[n];
+  ForEachIndex(pool, picks.size(), [&](uint64_t i) {
+    // Per-invocation scratch: three bit-per-vertex sets plus the
+    // frontier. Allocating per source (not thread_local) keeps memory
+    // bounded by the call instead of pinning largest-graph-sized
+    // buffers to pool threads for the process lifetime; the cost is
+    // noise next to the O(E) traversal.
+    std::vector<uint64_t> visited(words, 0);
+    std::vector<uint64_t> current(words, 0);  // this level's set
+    std::vector<uint64_t> fresh(words, 0);    // next level's set
+    std::vector<VertexId> frontier;
+    std::vector<uint64_t>& histogram = per_source[i];
+
+    const VertexId src = static_cast<VertexId>(picks[i]);
+    visited[src >> 6] |= 1ULL << (src & 63);
+    current[src >> 6] |= 1ULL << (src & 63);
+    frontier.assign(1, src);
+    uint64_t frontier_degree = und_offsets[src + 1] - und_offsets[src];
+    uint32_t level = 0;
+    while (!frontier.empty()) {
+      ++level;
+      uint64_t found = 0;
+      if (frontier_degree * 10 > und_edges) {
+        // Bottom-up: scan unvisited vertices for a neighbor in the
+        // current level; first hit settles the vertex.
+        for (uint64_t w = 0; w < words; ++w) {
+          uint64_t unvisited = ~visited[w];
+          if (w == words - 1) unvisited &= last_word_mask;
+          while (unvisited != 0) {
+            const int b = std::countr_zero(unvisited);
+            unvisited &= unvisited - 1;
+            const auto u = static_cast<VertexId>((w << 6) + b);
+            const uint64_t end = und_offsets[u + 1];
+            for (uint64_t s = und_offsets[u]; s < end; ++s) {
+              const VertexId p = und_targets[s];
+              if (current[p >> 6] & (1ULL << (p & 63))) {
+                visited[w] |= 1ULL << b;
+                fresh[w] |= 1ULL << b;
+                ++found;
+                break;
+              }
+            }
+          }
         }
-      };
-      for (const VertexId u : graph.out_neighbors(v)) visit(u);
-      for (const VertexId u : graph.in_neighbors(v)) visit(u);
+      } else {
+        // Top-down: expand the current level's adjacency.
+        for (const VertexId v : frontier) {
+          const uint64_t end = und_offsets[v + 1];
+          for (uint64_t s = und_offsets[v]; s < end; ++s) {
+            const VertexId u = und_targets[s];
+            const uint64_t mask = 1ULL << (u & 63);
+            if ((visited[u >> 6] & mask) == 0) {
+              visited[u >> 6] |= mask;
+              fresh[u >> 6] |= mask;
+              ++found;
+            }
+          }
+        }
+      }
+      if (found != 0) {
+        histogram.resize(level + 1, 0);
+        histogram[level] = found;
+      }
+      // Rebuild the frontier from the fresh bits: ascending vertex ids,
+      // so the next top-down level walks und_targets nearly sequentially
+      // instead of in discovery order.
+      frontier.clear();
+      frontier_degree = 0;
+      for (uint64_t w = 0; w < words; ++w) {
+        uint64_t bits = fresh[w];
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          const auto u = static_cast<VertexId>((w << 6) + b);
+          frontier.push_back(u);
+          frontier_degree += und_offsets[u + 1] - und_offsets[u];
+        }
+      }
+      current.swap(fresh);
+      std::fill(fresh.begin(), fresh.end(), 0);
+    }
+  });
+
+  // Deterministic merge in source order.
+  std::vector<uint64_t> hop_histogram;
+  for (const std::vector<uint64_t>& histogram : per_source) {
+    if (histogram.size() > hop_histogram.size()) {
+      hop_histogram.resize(histogram.size(), 0);
+    }
+    for (size_t h = 0; h < histogram.size(); ++h) {
+      hop_histogram[h] += histogram[h];
     }
   }
 
@@ -167,7 +282,7 @@ double EffectiveDiameter(const Graph& graph, double quantile,
 }
 
 double AverageClusteringCoefficient(const Graph& graph, uint32_t num_samples,
-                                    uint64_t seed) {
+                                    uint64_t seed, bsp::ThreadPool* pool) {
   const uint64_t n = graph.num_vertices();
   if (n == 0) return 0.0;
   Rng rng(seed);
@@ -178,10 +293,35 @@ double AverageClusteringCoefficient(const Graph& graph, uint32_t num_samples,
   } else {
     picks = rng.SampleWithoutReplacement(n, num_samples);
   }
+  if (picks.empty()) return 0.0;
 
-  // Undirected neighborhood sets; sorted vectors for O(deg log deg) lookup.
-  auto neighborhood = [&](VertexId v) {
-    std::vector<VertexId> nbrs;
+  // Every neighborhood consulted below belongs to a pick or to one of a
+  // pick's neighbors ("touched" vertices). Mark them, then build each
+  // touched vertex's sorted unique undirected neighborhood exactly once
+  // — the former code rebuilt-and-sorted neighborhood(u) from scratch
+  // for every neighbor u of every pick, paying O(deg(u) log deg(u)) per
+  // appearance instead of per vertex. touch_slot maps a vertex to its
+  // memo slot + 1 (0 = untouched), so the memo array is sized by the
+  // touched count, not |V|.
+  std::vector<uint32_t> touch_slot(n, 0);
+  std::vector<VertexId> touched_list;
+  const auto touch = [&](VertexId u) {
+    if (touch_slot[u] == 0) {
+      touched_list.push_back(u);
+      touch_slot[u] = static_cast<uint32_t>(touched_list.size());
+    }
+  };
+  for (const uint64_t v64 : picks) {
+    const VertexId v = static_cast<VertexId>(v64);
+    touch(v);
+    for (const VertexId u : graph.out_neighbors(v)) touch(u);
+    for (const VertexId u : graph.in_neighbors(v)) touch(u);
+  }
+
+  std::vector<std::vector<VertexId>> neighborhoods(touched_list.size());
+  ForEachIndex(pool, touched_list.size(), [&](uint64_t i) {
+    const VertexId v = touched_list[i];
+    std::vector<VertexId>& nbrs = neighborhoods[i];
     for (const VertexId u : graph.out_neighbors(v)) {
       if (u != v) nbrs.push_back(u);
     }
@@ -190,22 +330,21 @@ double AverageClusteringCoefficient(const Graph& graph, uint32_t num_samples,
     }
     std::sort(nbrs.begin(), nbrs.end());
     nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
-    return nbrs;
-  };
+  });
 
-  double sum = 0.0;
-  uint64_t counted = 0;
-  for (const uint64_t v64 : picks) {
-    const VertexId v = static_cast<VertexId>(v64);
-    const auto nbrs = neighborhood(v);
+  // Per-pick coefficients, each writing only its own slot; the reduction
+  // below walks pick order, so thread scheduling cannot reorder the
+  // floating-point sum.
+  std::vector<double> coefficient(picks.size(), 0.0);
+  std::vector<uint8_t> has_coefficient(picks.size(), 0);
+  ForEachIndex(pool, picks.size(), [&](uint64_t p) {
+    const VertexId v = static_cast<VertexId>(picks[p]);
+    const std::vector<VertexId>& nbrs = neighborhoods[touch_slot[v] - 1];
     const size_t k = nbrs.size();
-    if (k < 2) {
-      ++counted;  // convention: cc=0 for degree<2 vertices
-      continue;
-    }
+    if (k < 2) return;  // convention: cc=0 for degree<2 vertices
     uint64_t closed = 0;
     for (const VertexId u : nbrs) {
-      const auto u_nbrs = neighborhood(u);
+      const std::vector<VertexId>& u_nbrs = neighborhoods[touch_slot[u] - 1];
       // Count |nbrs ∩ u_nbrs| via merge.
       size_t i = 0, j = 0;
       while (i < nbrs.size() && j < u_nbrs.size()) {
@@ -220,11 +359,19 @@ double AverageClusteringCoefficient(const Graph& graph, uint32_t num_samples,
         }
       }
     }
-    sum += static_cast<double>(closed) /
-           (static_cast<double>(k) * static_cast<double>(k - 1));
-    ++counted;
+    coefficient[p] = static_cast<double>(closed) /
+                     (static_cast<double>(k) * static_cast<double>(k - 1));
+    has_coefficient[p] = 1;
+  });
+
+  // Deterministic reduction in pick order, adding exactly the terms the
+  // sequential implementation added (degree<2 picks count toward the
+  // mean but contribute no addend).
+  double sum = 0.0;
+  for (size_t p = 0; p < picks.size(); ++p) {
+    if (has_coefficient[p]) sum += coefficient[p];
   }
-  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+  return sum / static_cast<double>(picks.size());
 }
 
 double KolmogorovSmirnovD(std::vector<double> a, std::vector<double> b) {

@@ -19,6 +19,10 @@
 
 namespace predict {
 
+namespace bsp {
+class ThreadPool;
+}  // namespace bsp
+
 /// Summary statistics of a degree sequence.
 struct DegreeStats {
   double mean = 0.0;
@@ -55,15 +59,29 @@ double LargestComponentFraction(const Graph& graph);
 ///
 /// Deterministic for a fixed seed. Interpolates between integer hop counts
 /// as in Leskovec & Faloutsos.
+///
+/// When `pool` is non-null its threads run the per-source BFS fan-out;
+/// per-source hop histograms are merged in source order, so the result
+/// is bit-identical for any thread count (nullptr / 0 / N) — the repo's
+/// standing determinism contract, pinned by tests/coldpath_test.cc.
 double EffectiveDiameter(const Graph& graph, double quantile = 0.9,
-                         uint32_t num_sources = 64, uint64_t seed = 42);
+                         uint32_t num_sources = 64, uint64_t seed = 42,
+                         bsp::ThreadPool* pool = nullptr);
 
 /// Average local clustering coefficient, estimated on `num_samples`
 /// sampled vertices (exact when num_samples >= |V|). Edge directions are
 /// ignored.
+///
+/// Sorted undirected neighborhoods are memoized per touched vertex (a
+/// vertex's neighborhood is built once, not once per appearance in a
+/// pick's neighbor list). When `pool` is non-null, neighborhood
+/// construction and per-pick coefficients fan out across its threads;
+/// per-pick contributions are reduced in pick order, so the result is
+/// bit-identical for any thread count.
 double AverageClusteringCoefficient(const Graph& graph,
                                     uint32_t num_samples = 2000,
-                                    uint64_t seed = 42);
+                                    uint64_t seed = 42,
+                                    bsp::ThreadPool* pool = nullptr);
 
 /// Kolmogorov–Smirnov D-statistic between two empirical samples
 /// (max distance between their ECDFs). Used to compare degree

@@ -6,6 +6,13 @@
 // undirected graphs). InducedSubgraph is the second half of every
 // sampling technique: given the sampled vertex set, keep the edges whose
 // endpoints were both sampled and remap ids to a compact range.
+//
+// All transforms are CSR-native: they assemble the result's adjacency
+// arrays directly from the parent's CSR (dense O(|V|) remap scratch, two
+// counting passes) with no intermediate edge list, no hashing, and no
+// re-validation round trip. Output is bit-identical — fingerprint and
+// edge order — to the original edge-list implementations; the
+// equivalence suite in tests/coldpath_test.cc pins this.
 
 #ifndef PREDICT_GRAPH_TRANSFORMS_H_
 #define PREDICT_GRAPH_TRANSFORMS_H_

@@ -22,19 +22,21 @@ std::string SampleQualityReport::ToString() const {
 SampleQualityReport EvaluateSampleQuality(const Graph& original,
                                           const Sample& sample,
                                           uint32_t diameter_sources,
-                                          uint64_t seed) {
+                                          uint64_t seed,
+                                          bsp::ThreadPool* pool) {
   SampleQualityReport report;
   report.out_degree_d_statistic = KolmogorovSmirnovD(
       OutDegreeSequence(original), OutDegreeSequence(sample.subgraph));
   report.in_degree_d_statistic = KolmogorovSmirnovD(
       InDegreeSequence(original), InDegreeSequence(sample.subgraph));
   report.original_effective_diameter =
-      EffectiveDiameter(original, 0.9, diameter_sources, seed);
+      EffectiveDiameter(original, 0.9, diameter_sources, seed, pool);
   report.sample_effective_diameter =
-      EffectiveDiameter(sample.subgraph, 0.9, diameter_sources, seed);
-  report.original_clustering = AverageClusteringCoefficient(original, 500, seed);
+      EffectiveDiameter(sample.subgraph, 0.9, diameter_sources, seed, pool);
+  report.original_clustering =
+      AverageClusteringCoefficient(original, 500, seed, pool);
   report.sample_clustering =
-      AverageClusteringCoefficient(sample.subgraph, 500, seed);
+      AverageClusteringCoefficient(sample.subgraph, 500, seed, pool);
   report.original_largest_component = LargestComponentFraction(original);
   report.sample_largest_component = LargestComponentFraction(sample.subgraph);
   report.original_in_out_ratio = MeanInOutDegreeRatio(original);

@@ -12,6 +12,10 @@
 
 namespace predict {
 
+namespace bsp {
+class ThreadPool;
+}  // namespace bsp
+
 /// Property-by-property comparison between a sample and its source graph.
 struct SampleQualityReport {
   double out_degree_d_statistic = 0.0;  ///< KS distance, out-degree dists
@@ -33,11 +37,15 @@ struct SampleQualityReport {
   std::string ToString() const;
 };
 
-/// Computes the report. `diameter_sources` bounds the BFS work.
+/// Computes the report. `diameter_sources` bounds the BFS work. A
+/// non-null `pool` parallelizes the diameter and clustering estimates
+/// (bit-identical to pool == nullptr for any thread count; see
+/// graph/stats.h).
 SampleQualityReport EvaluateSampleQuality(const Graph& original,
                                           const Sample& sample,
                                           uint32_t diameter_sources = 32,
-                                          uint64_t seed = 42);
+                                          uint64_t seed = 42,
+                                          bsp::ThreadPool* pool = nullptr);
 
 }  // namespace predict
 

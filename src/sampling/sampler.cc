@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdio>
 #include <numeric>
-#include <unordered_set>
 
 #include "common/rng.h"
 
@@ -13,27 +12,31 @@ namespace predict {
 namespace {
 
 // Common state for the random-walk family: tracks picked vertices in
-// insertion order, stops when the target count is reached.
+// insertion order, stops when the target count is reached. Vertex ids
+// are compact [0, |V|), so membership is a dense byte bitmap — every
+// walk step costs a branch + store instead of a hash probe.
 class PickSet {
  public:
-  explicit PickSet(uint64_t target) : target_(target) {}
+  PickSet(uint64_t num_vertices, uint64_t target)
+      : target_(target), in_set_(num_vertices, 0) {
+    order_.reserve(target);
+  }
 
   // Returns true if v was newly added.
   bool Add(VertexId v) {
-    if (set_.insert(v).second) {
-      order_.push_back(v);
-      return true;
-    }
-    return false;
+    if (in_set_[v]) return false;
+    in_set_[v] = 1;
+    order_.push_back(v);
+    return true;
   }
 
-  bool Contains(VertexId v) const { return set_.count(v) != 0; }
+  bool Contains(VertexId v) const { return in_set_[v] != 0; }
   bool Done() const { return order_.size() >= target_; }
   std::vector<VertexId>& order() { return order_; }
 
  private:
   uint64_t target_;
-  std::unordered_set<VertexId> set_;
+  std::vector<uint8_t> in_set_;
   std::vector<VertexId> order_;
 };
 
@@ -66,7 +69,7 @@ template <typename RestartFn>
 std::vector<VertexId> JumpWalk(const Graph& graph, const SamplerOptions& options,
                                uint64_t target, RestartFn restart) {
   Rng rng(options.seed);
-  PickSet picks(target);
+  PickSet picks(graph.num_vertices(), target);
   VertexId current = restart(rng);
   picks.Add(current);
   // Guard against pathological graphs (e.g. no outgoing edges anywhere):
@@ -131,7 +134,7 @@ std::vector<VertexId> RunMetropolisHastings(const Graph& graph,
                                             uint64_t target) {
   const uint64_t n = graph.num_vertices();
   Rng rng(options.seed);
-  PickSet picks(target);
+  PickSet picks(graph.num_vertices(), target);
   VertexId current = static_cast<VertexId>(rng.Uniform(n));
   picks.Add(current);
   const uint64_t max_steps = 400 * target + 1000;
@@ -167,7 +170,7 @@ std::vector<VertexId> RunForestFire(const Graph& graph,
                                     uint64_t target) {
   const uint64_t n = graph.num_vertices();
   Rng rng(options.seed);
-  PickSet picks(target);
+  PickSet picks(graph.num_vertices(), target);
   std::vector<VertexId> frontier;
   while (!picks.Done()) {
     // Ignite at a random unvisited vertex.
@@ -205,14 +208,27 @@ const char* SamplerKindName(SamplerKind kind) {
 }
 
 std::string SamplerOptionsKey(const SamplerOptions& options) {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "%s;ratio=%.17g;jump=%.17g;seedfrac=%.17g;burn=%.17g;seed=%llu",
-                SamplerKindName(options.kind), options.sampling_ratio,
-                options.jump_probability, options.seed_fraction,
-                options.forward_burning_p,
-                static_cast<unsigned long long>(options.seed));
-  return buf;
+  // Cache keys must never truncate: two distinct options differing only
+  // past a fixed buffer's end would silently collide. snprintf reports
+  // the full untruncated length, so retry with an exact-sized buffer if
+  // the stack buffer ever proves too small.
+  const auto format = [&](char* out, size_t size) {
+    return std::snprintf(
+        out, size,
+        "%s;ratio=%.17g;jump=%.17g;seedfrac=%.17g;burn=%.17g;seed=%llu",
+        SamplerKindName(options.kind), options.sampling_ratio,
+        options.jump_probability, options.seed_fraction,
+        options.forward_burning_p,
+        static_cast<unsigned long long>(options.seed));
+  };
+  char buf[192];
+  const int len = format(buf, sizeof(buf));
+  if (len < 0) return SamplerKindName(options.kind);  // cannot happen
+  if (static_cast<size_t>(len) < sizeof(buf)) return std::string(buf, len);
+  std::string key(static_cast<size_t>(len) + 1, '\0');
+  format(key.data(), key.size());
+  key.resize(static_cast<size_t>(len));
+  return key;
 }
 
 Result<std::vector<VertexId>> SampleVertices(const Graph& graph,

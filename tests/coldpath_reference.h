@@ -1,0 +1,377 @@
+// Frozen reference implementations of the pre-overhaul (seed) cold
+// path: edge-list graph transforms, hash-set random-walk samplers, and
+// sequential queue-BFS / unmemoized statistics.
+//
+// These verbatim copies of the original code define "bit-identical" for
+// the CSR-native rewrites. They are shared by tests/coldpath_test.cc
+// (the equivalence suite) and bench/cold_path.cc (the speedup gate) so
+// the two can never pin against diverging baselines. Do not "fix" or
+// modernize anything here.
+
+#ifndef PREDICT_TESTS_COLDPATH_REFERENCE_H_
+#define PREDICT_TESTS_COLDPATH_REFERENCE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/transforms.h"
+#include "sampling/sampler.h"
+
+namespace predict::coldpath_reference {
+
+inline Result<Graph> ToUndirected(const Graph& graph) {
+  const uint64_t v_count = graph.num_vertices();
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges() * 2);
+  for (VertexId v = 0; v < v_count; ++v) {
+    const auto targets = graph.out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const float w = graph.is_weighted() ? graph.out_weights(v)[i] : 1.0f;
+      edges.push_back({v, targets[i], w});
+      if (v != targets[i]) edges.push_back({targets[i], v, w});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+  return Graph::FromEdges(static_cast<VertexId>(v_count), std::move(edges));
+}
+
+inline Result<SubgraphResult> InducedSubgraph(
+    const Graph& graph, const std::vector<VertexId>& vertices) {
+  const uint64_t v_count = graph.num_vertices();
+  std::unordered_map<VertexId, VertexId> new_id;
+  new_id.reserve(vertices.size() * 2);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    if (v >= v_count) {
+      return Status::InvalidArgument("sampled vertex " + std::to_string(v) +
+                                     " out of range");
+    }
+    if (!new_id.emplace(v, static_cast<VertexId>(i)).second) {
+      return Status::InvalidArgument("duplicate vertex " + std::to_string(v) +
+                                     " in sample");
+    }
+  }
+
+  std::vector<Edge> edges;
+  for (const VertexId v : vertices) {
+    const auto it_src = new_id.find(v);
+    const auto targets = graph.out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const auto it_dst = new_id.find(targets[i]);
+      if (it_dst == new_id.end()) continue;
+      const float w = graph.is_weighted() ? graph.out_weights(v)[i] : 1.0f;
+      edges.push_back({it_src->second, it_dst->second, w});
+    }
+  }
+
+  SubgraphResult result;
+  result.original_id = vertices;
+  auto built = Graph::FromEdges(static_cast<VertexId>(vertices.size()),
+                                std::move(edges));
+  if (!built.ok()) return built.status();
+  result.graph = std::move(built).MoveValue();
+  return result;
+}
+
+inline Result<Graph> Transpose(const Graph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto targets = graph.out_neighbors(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const float w = graph.is_weighted() ? graph.out_weights(v)[i] : 1.0f;
+      edges.push_back({targets[i], v, w});
+    }
+  }
+  return Graph::FromEdges(static_cast<VertexId>(graph.num_vertices()),
+                          std::move(edges));
+}
+
+inline double EffectiveDiameter(const Graph& graph, double quantile,
+                                uint32_t num_sources, uint64_t seed) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  const uint64_t sources = std::min<uint64_t>(num_sources, n);
+  const auto picks = Rng(rng).SampleWithoutReplacement(n, sources);
+
+  std::vector<uint64_t> hop_histogram;
+  std::vector<uint32_t> dist(n);
+  constexpr uint32_t kUnreached = 0xFFFFFFFFu;
+  for (const uint64_t src64 : picks) {
+    const VertexId src = static_cast<VertexId>(src64);
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    dist[src] = 0;
+    std::queue<VertexId> queue;
+    queue.push(src);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop();
+      const uint32_t d = dist[v] + 1;
+      auto visit = [&](VertexId u) {
+        if (dist[u] == kUnreached) {
+          dist[u] = d;
+          if (hop_histogram.size() <= d) hop_histogram.resize(d + 1, 0);
+          hop_histogram[d]++;
+          queue.push(u);
+        }
+      };
+      for (const VertexId u : graph.out_neighbors(v)) visit(u);
+      for (const VertexId u : graph.in_neighbors(v)) visit(u);
+    }
+  }
+
+  uint64_t total_pairs = 0;
+  for (const uint64_t c : hop_histogram) total_pairs += c;
+  if (total_pairs == 0) return 0.0;
+
+  const double target = quantile * static_cast<double>(total_pairs);
+  uint64_t cumulative = 0;
+  for (size_t h = 1; h < hop_histogram.size(); ++h) {
+    const uint64_t next = cumulative + hop_histogram[h];
+    if (static_cast<double>(next) >= target) {
+      const double need = target - static_cast<double>(cumulative);
+      const double frac = need / static_cast<double>(hop_histogram[h]);
+      return static_cast<double>(h - 1) + frac;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(hop_histogram.size() - 1);
+}
+
+inline double AverageClusteringCoefficient(const Graph& graph,
+                                           uint32_t num_samples,
+                                           uint64_t seed) {
+  const uint64_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  Rng rng(seed);
+  std::vector<uint64_t> picks;
+  if (num_samples >= n) {
+    picks.resize(n);
+    std::iota(picks.begin(), picks.end(), 0);
+  } else {
+    picks = rng.SampleWithoutReplacement(n, num_samples);
+  }
+
+  auto neighborhood = [&](VertexId v) {
+    std::vector<VertexId> nbrs;
+    for (const VertexId u : graph.out_neighbors(v)) {
+      if (u != v) nbrs.push_back(u);
+    }
+    for (const VertexId u : graph.in_neighbors(v)) {
+      if (u != v) nbrs.push_back(u);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    return nbrs;
+  };
+
+  double sum = 0.0;
+  uint64_t counted = 0;
+  for (const uint64_t v64 : picks) {
+    const VertexId v = static_cast<VertexId>(v64);
+    const auto nbrs = neighborhood(v);
+    const size_t k = nbrs.size();
+    if (k < 2) {
+      ++counted;
+      continue;
+    }
+    uint64_t closed = 0;
+    for (const VertexId u : nbrs) {
+      const auto u_nbrs = neighborhood(u);
+      size_t i = 0, j = 0;
+      while (i < nbrs.size() && j < u_nbrs.size()) {
+        if (nbrs[i] < u_nbrs[j]) {
+          ++i;
+        } else if (nbrs[i] > u_nbrs[j]) {
+          ++j;
+        } else {
+          ++closed;
+          ++i;
+          ++j;
+        }
+      }
+    }
+    sum += static_cast<double>(closed) /
+           (static_cast<double>(k) * static_cast<double>(k - 1));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+// --- the seed's random-walk samplers (hash-set PickSet) --------------
+
+class PickSet {
+ public:
+  explicit PickSet(uint64_t target) : target_(target) {}
+
+  bool Add(VertexId v) {
+    if (set_.insert(v).second) {
+      order_.push_back(v);
+      return true;
+    }
+    return false;
+  }
+
+  bool Done() const { return order_.size() >= target_; }
+  std::vector<VertexId>& order() { return order_; }
+
+ private:
+  uint64_t target_;
+  std::unordered_set<VertexId> set_;
+  std::vector<VertexId> order_;
+};
+
+inline bool Step(const Graph& graph, Rng& rng, VertexId& current) {
+  const auto targets = graph.out_neighbors(current);
+  if (targets.empty()) return false;
+  current = targets[rng.Uniform(targets.size())];
+  return true;
+}
+
+inline std::vector<VertexId> TopOutDegreeSeeds(const Graph& graph, uint64_t k) {
+  std::vector<VertexId> vertices(graph.num_vertices());
+  std::iota(vertices.begin(), vertices.end(), 0);
+  k = std::min<uint64_t>(k, vertices.size());
+  std::partial_sort(vertices.begin(), vertices.begin() + k, vertices.end(),
+                    [&](VertexId a, VertexId b) {
+                      const uint64_t da = graph.out_degree(a);
+                      const uint64_t db = graph.out_degree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  vertices.resize(k);
+  return vertices;
+}
+
+template <typename RestartFn>
+std::vector<VertexId> JumpWalk(const Graph& graph,
+                               const SamplerOptions& options, uint64_t target,
+                               RestartFn restart) {
+  Rng rng(options.seed);
+  PickSet picks(target);
+  VertexId current = restart(rng);
+  picks.Add(current);
+  const uint64_t max_steps = 200 * target + 1000;
+  uint64_t steps = 0;
+  while (!picks.Done() && steps < max_steps) {
+    ++steps;
+    if (rng.NextBool(options.jump_probability) || !Step(graph, rng, current)) {
+      current = restart(rng);
+    }
+    picks.Add(current);
+  }
+  while (!picks.Done()) {
+    picks.Add(static_cast<VertexId>(rng.Uniform(graph.num_vertices())));
+  }
+  return std::move(picks.order());
+}
+
+inline uint64_t UndirectedDegree(const Graph& graph, VertexId v) {
+  return graph.out_degree(v) + graph.in_degree(v);
+}
+
+inline bool UndirectedStep(const Graph& graph, Rng& rng, VertexId& current) {
+  const auto out = graph.out_neighbors(current);
+  const auto in = graph.in_neighbors(current);
+  const uint64_t degree = out.size() + in.size();
+  if (degree == 0) return false;
+  const uint64_t pick = rng.Uniform(degree);
+  current = pick < out.size() ? out[pick] : in[pick - out.size()];
+  return true;
+}
+
+inline std::vector<VertexId> SampleVertices(const Graph& graph,
+                                            const SamplerOptions& options) {
+  const uint64_t n = graph.num_vertices();
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(options.sampling_ratio * static_cast<double>(n))));
+  switch (options.kind) {
+    case SamplerKind::kRandomJump:
+      return JumpWalk(graph, options, target, [n](Rng& rng) {
+        return static_cast<VertexId>(rng.Uniform(n));
+      });
+    case SamplerKind::kBiasedRandomJump: {
+      const uint64_t k = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(options.seed_fraction *
+                                                static_cast<double>(n))));
+      const std::vector<VertexId> seeds = TopOutDegreeSeeds(graph, k);
+      return JumpWalk(graph, options, target, [&seeds](Rng& rng) {
+        return seeds[rng.Uniform(seeds.size())];
+      });
+    }
+    case SamplerKind::kMetropolisHastingsRW: {
+      Rng rng(options.seed);
+      PickSet picks(target);
+      VertexId current = static_cast<VertexId>(rng.Uniform(n));
+      picks.Add(current);
+      const uint64_t max_steps = 400 * target + 1000;
+      uint64_t steps = 0;
+      while (!picks.Done() && steps < max_steps) {
+        ++steps;
+        if (rng.NextBool(options.jump_probability)) {
+          current = static_cast<VertexId>(rng.Uniform(n));
+          picks.Add(current);
+          continue;
+        }
+        VertexId proposal = current;
+        if (!UndirectedStep(graph, rng, proposal)) {
+          current = static_cast<VertexId>(rng.Uniform(n));
+          picks.Add(current);
+          continue;
+        }
+        const double ratio =
+            static_cast<double>(UndirectedDegree(graph, current)) /
+            static_cast<double>(UndirectedDegree(graph, proposal));
+        if (ratio >= 1.0 || rng.NextDouble() < ratio) current = proposal;
+        picks.Add(current);
+      }
+      while (!picks.Done()) {
+        picks.Add(static_cast<VertexId>(rng.Uniform(n)));
+      }
+      return std::move(picks.order());
+    }
+    case SamplerKind::kForestFire: {
+      Rng rng(options.seed);
+      PickSet picks(target);
+      std::vector<VertexId> frontier;
+      while (!picks.Done()) {
+        VertexId seed = static_cast<VertexId>(rng.Uniform(n));
+        picks.Add(seed);
+        frontier.assign(1, seed);
+        while (!frontier.empty() && !picks.Done()) {
+          const VertexId v = frontier.back();
+          frontier.pop_back();
+          for (const VertexId u : graph.out_neighbors(v)) {
+            if (picks.Done()) break;
+            if (!rng.NextBool(options.forward_burning_p)) continue;
+            if (picks.Add(u)) frontier.push_back(u);
+          }
+        }
+      }
+      return std::move(picks.order());
+    }
+  }
+  return {};
+}
+
+}  // namespace predict::coldpath_reference
+
+#endif  // PREDICT_TESTS_COLDPATH_REFERENCE_H_

@@ -2,8 +2,9 @@
 //
 //   predict_cli datasets
 //   predict_cli describe  (--dataset NAME | --graph FILE) [--scale S]
+//                         [--threads T]
 //   predict_cli sample    (--dataset NAME | --graph FILE) [--ratio R]
-//                         [--method BRJ|RJ|MHRW|FF] [--seed N]
+//                         [--method BRJ|RJ|MHRW|FF] [--seed N] [--threads T]
 //   predict_cli run       --algorithm A (--dataset NAME | --graph FILE)
 //                         [--config k=v]... [--workers N]
 //   predict_cli predict   --algorithm A (--dataset NAME | --graph FILE)
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "algorithms/runner.h"
+#include "bsp/thread_pool.h"
 #include "common/strings.h"
 #include "core/bounds.h"
 #include "core/history.h"
@@ -152,17 +154,27 @@ int CmdDatasets() {
   return 0;
 }
 
+// Stats pool for describe/sample: --threads T fans the BFS/clustering
+// estimates out over T host threads (0 = inline; results are identical
+// either way per the stats determinism contract).
+std::unique_ptr<bsp::ThreadPool> StatsPool(const Flags& flags) {
+  const int threads = std::atoi(GetFlag(flags, "threads", "0").c_str());
+  if (threads <= 0) return nullptr;
+  return std::make_unique<bsp::ThreadPool>(static_cast<uint32_t>(threads));
+}
+
 int CmdDescribe(const Flags& flags) {
   auto graph = LoadInputGraph(flags);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
+  const std::unique_ptr<bsp::ThreadPool> pool = StatsPool(flags);
   std::printf("%s\n", DescribeGraph(*graph).c_str());
   std::printf("effective diameter (90%%): %.2f\n",
-              EffectiveDiameter(*graph, 0.9, 32));
+              EffectiveDiameter(*graph, 0.9, 32, 42, pool.get()));
   std::printf("clustering coefficient:   %.4f\n",
-              AverageClusteringCoefficient(*graph, 1000));
+              AverageClusteringCoefficient(*graph, 1000, 42, pool.get()));
   std::printf("weakly connected comps:   %llu\n",
               static_cast<unsigned long long>(
                   CountWeaklyConnectedComponents(*graph)));
@@ -187,7 +199,9 @@ int CmdSample(const Flags& flags) {
   std::printf("method %s, ratio %.3f: sample %s\n",
               SamplerKindName(options.kind), sample->realized_ratio,
               sample->subgraph.ToString().c_str());
-  const SampleQualityReport quality = EvaluateSampleQuality(*graph, *sample);
+  const std::unique_ptr<bsp::ThreadPool> pool = StatsPool(flags);
+  const SampleQualityReport quality =
+      EvaluateSampleQuality(*graph, *sample, 32, 42, pool.get());
   std::printf("quality: %s\n", quality.ToString().c_str());
   return 0;
 }
