@@ -9,6 +9,7 @@
 
 #include "algorithms/connected_components.h"
 #include "algorithms/pagerank.h"
+#include "bsp/partition.h"
 #include "common/rng.h"
 #include "core/cost_model.h"
 #include "core/regression.h"
@@ -97,6 +98,54 @@ void BM_PageRankSuperstep(benchmark::State& state) {
                           static_cast<int64_t>(BenchGraph().num_edges()));
 }
 BENCHMARK(BM_PageRankSuperstep)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// Owner lookup cost per strategy: the per-message work SendMessage adds
+// on top of the payload copy. Strategy is the benchmark argument
+// (0 = hash arithmetic, 1 = hash via tables, 2 = range, 3 = edge).
+void BM_PartitionOwnerLookup(benchmark::State& state) {
+  using bsp::PartitionMap;
+  const Graph& g = BenchGraph();
+  PartitionMap map;
+  switch (state.range(0)) {
+    case 0: map = PartitionMap::HashModulo(29, g.num_vertices()); break;
+    case 1: map = PartitionMap::HashModuloTable(29, g.num_vertices()); break;
+    case 2: map = PartitionMap::ContiguousRange(29, g.num_vertices()); break;
+    default: map = PartitionMap::GreedyEdgeBalanced(29, g); break;
+  }
+  // Walk the edge targets — the id stream SendMessageToAllNeighbors sees.
+  const std::span<const VertexId> targets = g.out_targets();
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const VertexId target : targets) {
+      const PartitionMap::Location loc = map.Locate(target);
+      sink += loc.worker + loc.local;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(targets.size()));
+}
+BENCHMARK(BM_PartitionOwnerLookup)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+// Full partitioned supersteps: BM_PageRankSuperstep's workload under
+// each partitioning strategy (0 = hash, 1 = range, 2 = edge-balanced).
+// Hash is the fast path gated by bench/partition_gate.cc.
+void BM_PartitionedSuperstep(benchmark::State& state) {
+  bsp::EngineOptions options;
+  options.num_workers = 29;
+  options.num_threads = 0;
+  options.max_supersteps = 3;
+  options.partition = static_cast<bsp::PartitionStrategy>(state.range(0));
+  for (auto _ : state) {
+    auto result = RunPageRank(BenchGraph(), {{"tau", 0.0}}, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          static_cast<int64_t>(BenchGraph().num_edges()));
+}
+BENCHMARK(BM_PartitionedSuperstep)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ConnectedComponentsSuperstep(benchmark::State& state) {
   // Full min-label propagation to convergence: message-heavy early

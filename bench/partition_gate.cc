@@ -1,0 +1,314 @@
+// Partitioned-superstep perf gate (ctest: partition_gate, label
+// bench-smoke).
+//
+// Guards the tentpole bargain of the PartitionMap refactor: making the
+// vertex->worker assignment pluggable must not slow the hash fast path
+// that replaced the seed engine's hard-coded modulo scheme. Absolute
+// thresholds are meaningless across CI hardware, so the gate is
+// expressed against a frozen in-process baseline:
+//
+//   1. `reference kernel` — a faithful replica of the seed engine's
+//      per-message hot path (magic-multiply ownership, chunked outbox
+//      append, two-pass counting-sort slab build, inbox reduction),
+//      compiled into this binary and never refactored again. It prices
+//      the workload's raw message traffic on the current machine.
+//   2. The real engine running BM_PageRankSuperstep's workload (PageRank
+//      x 3 supersteps, 29 workers, inline threads) under the hash
+//      strategy must stay within kMaxEngineOverKernel of the kernel:
+//      a fast path that picks up per-message allocations, indirection
+//      or O(|V|) scans blows the ratio.
+//   3. The same workload under range / edge-balanced partitioning must
+//      agree with hash on every superstep's global totals (same
+//      vertices compute, same messages flow — only the local/remote
+//      split may move), and hash must remain the fastest layout.
+//
+// Run counts are small (the gate runs in seconds) and each timing takes
+// the min over repetitions, which is the standard noise floor estimator
+// on shared machines.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "algorithms/pagerank.h"
+#include "bsp/engine.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace predict;
+
+constexpr int kSupersteps = 3;
+constexpr uint32_t kWorkers = 29;
+constexpr int kRepetitions = 5;
+// Engine time / kernel time ceiling for the hash fast path. Measured
+// ~1.6x on the reference container; the engine legitimately does more
+// per message (counters, byte oracle, worklists, cost clock), but a
+// regression of the ownership math or message substrate multiplies it.
+constexpr double kMaxEngineOverKernel = 3.5;
+
+double MinSeconds(const std::vector<double>& times) {
+  return *std::min_element(times.begin(), times.end());
+}
+
+// ----------------------------------------------------- reference kernel
+// Frozen replica of the seed engine's message path for a PageRank-shaped
+// broadcast workload. Do not modernize: its job is to stay identical to
+// the scheme the seed engine used (commit 38cd185).
+
+struct FrozenFastDiv {
+  uint32_t divisor = 1;
+  uint64_t magic = 0;
+  explicit FrozenFastDiv(uint32_t d)
+      : divisor(d), magic(d > 1 ? ~uint64_t{0} / d + 1 : 0) {}
+  uint32_t Div(uint32_t v) const {
+    if (divisor == 1) return v;
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(magic) * v) >> 64);
+  }
+};
+
+struct FrozenMessage {
+  uint32_t target_local;
+  double payload;
+};
+
+struct FrozenOutbox {
+  static constexpr size_t kChunkSize = 1024;
+  std::vector<std::unique_ptr<FrozenMessage[]>> chunks;
+  size_t size = 0;
+  size_t tail_left = 0;
+  FrozenMessage* tail = nullptr;
+
+  void PushBack(uint32_t target_local, double payload) {
+    if (tail_left == 0) {
+      const size_t chunk = size / kChunkSize;
+      if (chunk == chunks.size()) {
+        chunks.push_back(std::make_unique<FrozenMessage[]>(kChunkSize));
+      }
+      tail = chunks[chunk].get();
+      tail_left = kChunkSize;
+    }
+    *tail++ = {target_local, payload};
+    --tail_left;
+    ++size;
+  }
+  void Clear() {
+    size = 0;
+    tail_left = 0;
+    tail = nullptr;
+  }
+};
+
+/// One timed pass: 3 supersteps of rank/degree broadcast over the exact
+/// send -> bucket-sort -> deliver structure of the seed message store.
+double RunReferenceKernel(const Graph& graph) {
+  const uint64_t n = graph.num_vertices();
+  const FrozenFastDiv divider(kWorkers);
+  std::vector<FrozenOutbox> outboxes(static_cast<size_t>(kWorkers) * kWorkers);
+  struct SlabEntry {
+    uint32_t epoch = 0xFFFFFFFFu;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  struct Slab {
+    std::vector<double> payload;
+    std::vector<SlabEntry> entries;
+    uint32_t stamp = 0;
+  };
+  std::vector<Slab> slabs(kWorkers);
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    slabs[w].entries.assign(n / kWorkers + (w < n % kWorkers), SlabEntry{});
+  }
+  std::vector<double> ranks(n, 1.0 / static_cast<double>(n));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int step = 0; step < kSupersteps; ++step) {
+    // Compute + send: every vertex broadcasts rank/degree (the PageRank
+    // message) to all neighbors, reading its inbox first.
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      Slab& slab = slabs[w];
+      FrozenOutbox* const row = outboxes.data() + static_cast<size_t>(w) * kWorkers;
+      for (uint64_t v = w; v < n; v += kWorkers) {
+        double sum = 0.0;
+        const SlabEntry& entry = slab.entries[divider.Div(static_cast<uint32_t>(v))];
+        if (entry.epoch == slab.stamp && slab.stamp != 0) {
+          for (uint32_t i = entry.begin; i < entry.end; ++i) {
+            sum += slab.payload[i];
+          }
+        }
+        ranks[v] = 0.15 / static_cast<double>(n) + 0.85 * sum;
+        const auto neighbors = graph.out_neighbors(static_cast<VertexId>(v));
+        if (neighbors.empty()) continue;
+        const double message = ranks[v] / static_cast<double>(neighbors.size());
+        for (const VertexId target : neighbors) {
+          const uint32_t target_local = divider.Div(target);
+          const uint32_t dest = target - target_local * divider.divisor;
+          row[dest].PushBack(target_local, message);
+        }
+      }
+    }
+    // Barrier: bucket-sort each worker's incoming traffic into its slab.
+    for (uint32_t w = 0; w < kWorkers; ++w) {
+      Slab& slab = slabs[w];
+      SlabEntry* const entries = slab.entries.data();
+      const uint32_t stamp = ++slab.stamp;
+      uint64_t total = 0;
+      for (uint32_t sender = 0; sender < kWorkers; ++sender) {
+        FrozenOutbox& box = outboxes[static_cast<size_t>(sender) * kWorkers + w];
+        size_t remaining = box.size;
+        for (size_t chunk = 0; remaining != 0; ++chunk) {
+          const size_t count = std::min(remaining, FrozenOutbox::kChunkSize);
+          const FrozenMessage* const messages = box.chunks[chunk].get();
+          for (size_t i = 0; i < count; ++i) {
+            SlabEntry& entry = entries[messages[i].target_local];
+            if (entry.epoch != stamp) {
+              entry.epoch = stamp;
+              entry.begin = 0;
+            }
+            entry.begin++;
+          }
+          remaining -= count;
+        }
+        total += box.size;
+      }
+      uint32_t running = 0;
+      for (SlabEntry& entry : slab.entries) {
+        if (entry.epoch != stamp) continue;
+        const uint32_t count = entry.begin;
+        entry.begin = running;
+        entry.end = running;
+        running += count;
+      }
+      if (slab.payload.size() < total) slab.payload.resize(total);
+      for (uint32_t sender = 0; sender < kWorkers; ++sender) {
+        FrozenOutbox& box = outboxes[static_cast<size_t>(sender) * kWorkers + w];
+        size_t remaining = box.size;
+        for (size_t chunk = 0; remaining != 0; ++chunk) {
+          const size_t count = std::min(remaining, FrozenOutbox::kChunkSize);
+          const FrozenMessage* const messages = box.chunks[chunk].get();
+          for (size_t i = 0; i < count; ++i) {
+            slab.payload[entries[messages[i].target_local].end++] =
+                messages[i].payload;
+          }
+          remaining -= count;
+        }
+        box.Clear();
+      }
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Keep the ranks alive.
+  if (ranks[0] < 0) std::printf("impossible\n");
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+// ------------------------------------------------------------ engine run
+
+struct EngineRun {
+  double seconds = 0.0;
+  bsp::RunStats stats;
+};
+
+EngineRun RunEngine(const Graph& graph, bsp::PartitionStrategy strategy) {
+  bsp::EngineOptions options;
+  options.num_workers = kWorkers;
+  options.num_threads = 0;
+  options.max_supersteps = kSupersteps;
+  options.partition = strategy;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = RunPageRank(graph, {{"tau", 0.0}}, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (!result.ok()) {
+    std::fprintf(stderr, "engine run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return {std::chrono::duration<double>(elapsed).count(),
+          std::move(result->stats)};
+}
+
+bool TotalsAgree(const bsp::RunStats& a, const bsp::RunStats& b) {
+  if (a.num_supersteps() != b.num_supersteps()) return false;
+  for (int s = 0; s < a.num_supersteps(); ++s) {
+    const bsp::WorkerCounters ta = a.supersteps[s].Totals();
+    const bsp::WorkerCounters tb = b.supersteps[s].Totals();
+    if (ta.active_vertices != tb.active_vertices ||
+        ta.total_messages() != tb.total_messages() ||
+        ta.total_message_bytes() != tb.total_message_bytes()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const Graph graph =
+      GeneratePreferentialAttachment({50000, 8, 0.3, 123}).MoveValue();
+  std::printf("partition gate: PageRank x %d supersteps on %s, %u workers\n",
+              kSupersteps, graph.ToString().c_str(), kWorkers);
+
+  std::vector<double> kernel_times, hash_times, range_times, edge_times;
+  bsp::RunStats hash_stats, range_stats, edge_stats;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    kernel_times.push_back(RunReferenceKernel(graph));
+    EngineRun hash = RunEngine(graph, bsp::PartitionStrategy::kHashModulo);
+    EngineRun range =
+        RunEngine(graph, bsp::PartitionStrategy::kContiguousRange);
+    EngineRun edge =
+        RunEngine(graph, bsp::PartitionStrategy::kGreedyEdgeBalanced);
+    hash_times.push_back(hash.seconds);
+    range_times.push_back(range.seconds);
+    edge_times.push_back(edge.seconds);
+    if (rep == 0) {
+      hash_stats = std::move(hash.stats);
+      range_stats = std::move(range.stats);
+      edge_stats = std::move(edge.stats);
+    }
+  }
+
+  const double kernel = MinSeconds(kernel_times);
+  const double hash = MinSeconds(hash_times);
+  const double range = MinSeconds(range_times);
+  const double edge = MinSeconds(edge_times);
+  const double ratio = hash / kernel;
+  std::printf("  frozen seed kernel   %8.1f ms\n", kernel * 1e3);
+  std::printf("  engine hash          %8.1f ms  (%.2fx kernel)\n", hash * 1e3,
+              ratio);
+  std::printf("  engine range         %8.1f ms\n", range * 1e3);
+  std::printf("  engine edge-balanced %8.1f ms\n", edge * 1e3);
+
+  bool ok = true;
+  if (ratio > kMaxEngineOverKernel) {
+    std::printf("FAIL: hash fast path is %.2fx the frozen seed kernel "
+                "(budget %.2fx) — the BM_PageRankSuperstep hot path "
+                "regressed\n",
+                ratio, kMaxEngineOverKernel);
+    ok = false;
+  }
+  // The layouts must run the same computation: identical global totals
+  // per superstep (only the local/remote split may differ).
+  if (!TotalsAgree(hash_stats, range_stats) ||
+      !TotalsAgree(hash_stats, edge_stats)) {
+    std::printf("FAIL: partition strategies disagree on per-superstep "
+                "global totals\n");
+    ok = false;
+  }
+  // And the arithmetic fast path must stay competitive with the
+  // table-backed layouts (two multiplies vs two loads per message; the
+  // budget absorbs scheduling noise on shared CI machines).
+  if (hash > std::min(range, edge) * 1.3) {
+    std::printf("FAIL: hash (%.1f ms) is slower than the table-backed "
+                "layouts (min %.1f ms) — the arithmetic fast path is not "
+                "being taken\n",
+                hash * 1e3, std::min(range, edge) * 1e3);
+    ok = false;
+  }
+  if (ok) std::printf("PASS\n");
+  return ok ? 0 : 1;
+}

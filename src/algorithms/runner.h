@@ -23,6 +23,10 @@ namespace predict {
 
 /// Inputs of a type-erased run.
 struct RunOptions {
+  /// Execution configuration, including the vertex partitioning
+  /// strategy and cost profile. To target a named deployment, fill it
+  /// from a cluster scenario: `options.engine =
+  /// scenario.ToEngineOptions()` (bsp/scenario.h).
   bsp::EngineOptions engine;
   /// Overrides applied on top of the algorithm's default config.
   AlgorithmConfig config_overrides;

@@ -33,9 +33,11 @@ double CostProfile::SuperstepSeconds(std::span<const WorkerCounters> workers,
                                      WorkerId* critical_worker) const {
   double max_cost = 0.0;
   WorkerId argmax = 0;
+  const bool heterogeneous = !worker_speed_factors.empty();
   for (size_t w = 0; w < workers.size(); ++w) {
-    const double cost = WorkerSeconds(workers[w]) *
-                        NoiseFactor(superstep, static_cast<WorkerId>(w));
+    double cost = WorkerSeconds(workers[w]);
+    if (heterogeneous) cost *= SpeedFactor(static_cast<WorkerId>(w));
+    cost *= NoiseFactor(superstep, static_cast<WorkerId>(w));
     if (cost > max_cost) {
       max_cost = cost;
       argmax = static_cast<WorkerId>(w);

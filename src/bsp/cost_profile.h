@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "bsp/counters.h"
 
@@ -57,6 +58,20 @@ struct CostProfile {
   /// Multiplicative log-normal noise, sigma in log space. 0 disables.
   double noise_sigma = 0.03;
   uint64_t noise_seed = 0x5EEDCAFEULL;
+
+  /// Per-worker slowdown multipliers for heterogeneous clusters
+  /// (ClusterScenario's straggler knob): worker w's superstep cost is
+  /// scaled by factor w. Workers beyond the vector's length run at 1.0;
+  /// empty (the default) means a homogeneous cluster and is skipped
+  /// entirely on the cost path, keeping homogeneous runs bit-identical
+  /// to profiles that predate this field.
+  std::vector<double> worker_speed_factors;
+
+  /// Slowdown multiplier of `worker` (1.0 when unset).
+  double SpeedFactor(WorkerId worker) const {
+    return worker < worker_speed_factors.size() ? worker_speed_factors[worker]
+                                                : 1.0;
+  }
 
   /// Deterministic noiseless cost of one worker's superstep.
   double WorkerSeconds(const WorkerCounters& counters) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bsp/partition.h"
+
 namespace predict::bsp {
 
 WorkerCounters& WorkerCounters::operator+=(const WorkerCounters& other) {
@@ -34,11 +36,8 @@ const char* HaltReasonName(HaltReason reason) {
 
 std::vector<uint64_t> PerWorkerOutboundEdges(const Graph& graph,
                                              uint32_t num_workers) {
-  std::vector<uint64_t> edges(num_workers, 0);
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    edges[v % num_workers] += graph.out_degree(v);
-  }
-  return edges;
+  return PartitionMap::HashModulo(num_workers, graph.num_vertices())
+      .OutboundEdges(graph);
 }
 
 WorkerId ArgMaxWorker(const std::vector<uint64_t>& values) {

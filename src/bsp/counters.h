@@ -99,8 +99,10 @@ struct RunStats {
   int num_supersteps() const { return static_cast<int>(supersteps.size()); }
 };
 
-/// Outbound-edge totals per worker for a vertex-hash partitioning; the
-/// basis of the paper's critical-path identification.
+/// Outbound-edge totals per worker for the default vertex-hash
+/// partitioning; the basis of the paper's critical-path identification.
+/// For an arbitrary assignment use PartitionMap::OutboundEdges
+/// (bsp/partition.h), which the engine records in RunStats.
 std::vector<uint64_t> PerWorkerOutboundEdges(const Graph& graph,
                                              uint32_t num_workers);
 

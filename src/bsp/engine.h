@@ -4,9 +4,10 @@
 // semantics: messages sent in superstep S are delivered in S+1, vertices
 // vote to halt and are reactivated by incoming messages, aggregators
 // reduce per superstep, and a master hook can stop the job. Workers are
-// simulated: vertices are hash-partitioned across `num_workers` logical
-// workers whose Table-1 counters drive the simulated cost clock
-// (bsp/cost_profile.h) and the simulated memory model.
+// simulated: vertices are assigned to `num_workers` logical workers by a
+// pluggable PartitionMap (bsp/partition.h; hash modulo by default) whose
+// Table-1 counters drive the simulated cost clock (bsp/cost_profile.h)
+// and the simulated memory model.
 //
 // The hot path is allocation-free in steady state: messages flow through
 // per-worker chunked arenas that are bucket-sorted into contiguous
@@ -33,6 +34,7 @@
 #include "bsp/cost_profile.h"
 #include "bsp/counters.h"
 #include "bsp/message_store.h"
+#include "bsp/partition.h"
 #include "bsp/thread_pool.h"
 #include "bsp/vertex_program.h"
 #include "bsp/worklist.h"
@@ -47,6 +49,11 @@ namespace predict::bsp {
 struct EngineOptions {
   /// Simulated workers. The paper's cluster runs 29 workers + 1 master.
   uint32_t num_workers = 29;
+
+  /// How vertices are assigned to workers. The default reproduces the
+  /// seed engine's hash scheme bit for bit; the alternatives trade
+  /// assignment cost for balance (bsp/partition.h).
+  PartitionStrategy partition = PartitionStrategy::kHashModulo;
 
   /// Host threads executing the simulation. -1 = one per hardware thread,
   /// 0 = run inline on the caller.
@@ -101,6 +108,7 @@ class EngineState {
   uint32_t num_workers_;
 
   int superstep_ = 0;
+  PartitionMap partition_;
   std::vector<V> values_;
   std::vector<uint8_t> active_;
   MessageStore<M> messages_;
@@ -157,8 +165,11 @@ Result<RunStats> EngineState<V, M>::Run() {
     return Status::InvalidArgument("max_supersteps must be positive");
   }
 
+  // Partition the vertex space ("the read phase assigns partitions").
+  partition_ = PartitionMap::Build(options_.partition, num_workers_, *graph_);
+
   RunStats stats;
-  stats.worker_outbound_edges = PerWorkerOutboundEdges(*graph_, num_workers_);
+  stats.worker_outbound_edges = partition_.OutboundEdges(*graph_);
   stats.static_critical_worker = ArgMaxWorker(stats.worker_outbound_edges);
   stats.setup_seconds = options_.cost_profile.setup_seconds;
   stats.read_seconds =
@@ -182,19 +193,19 @@ Result<RunStats> EngineState<V, M>::Run() {
   // vertices; the state-bytes accumulators start from the initial values.
   values_.resize(n);
   active_.assign(n, 1);
-  messages_.Init(num_workers_, n);
+  messages_.Init(&partition_);
   worklists_.clear();
   worklists_.resize(num_workers_);
   state_bytes_.assign(num_workers_, 0);
   counters_.assign(num_workers_, WorkerCounters{});
   agg_partial_.assign(num_workers_, {});
   pool_->ParallelFor(num_workers_, [&](uint64_t w) {
-    worklists_[w].SeedAllOwned(static_cast<WorkerId>(w), num_workers_, n);
+    worklists_[w].SeedAllOwned(static_cast<WorkerId>(w), partition_);
     uint64_t bytes = 0;
-    for (uint64_t v = w; v < n; v += num_workers_) {
-      values_[v] = program_->InitialValue(static_cast<VertexId>(v), *graph_);
+    partition_.ForEachOwned(static_cast<WorkerId>(w), [&](VertexId v) {
+      values_[v] = program_->InitialValue(v, *graph_);
       bytes += program_->VertexStateBytes(values_[v]);
-    }
+    });
     state_bytes_[w] = bytes;
   });
 
@@ -205,7 +216,7 @@ Result<RunStats> EngineState<V, M>::Run() {
     // Reset per-superstep accounting.
     for (WorkerId w = 0; w < num_workers_; ++w) {
       counters_[w] = WorkerCounters{};
-      counters_[w].total_vertices = n / num_workers_ + (w < n % num_workers_);
+      counters_[w].total_vertices = partition_.NumOwned(w);
       agg_partial_[w].assign(agg_ops_.size(), 0.0);
       for (size_t i = 0; i < agg_ops_.size(); ++i) {
         agg_partial_[w][i] = AggregatorIdentity(agg_ops_[i]);
@@ -397,19 +408,17 @@ inline bool VertexContext<V, M>::graph_is_weighted() const {
 template <typename V, typename M>
 inline void VertexContext<V, M>::SendMessage(VertexId target, M message) {
   auto* engine = engine_;
-  const internal::FastDiv& divider = engine->messages_.divider();
-  const uint32_t target_local = divider.Div(target);
-  const WorkerId dest_worker = target - target_local * divider.divisor();
+  const PartitionMap::Location loc = engine->partition_.Locate(target);
   const uint64_t bytes = engine->program_->MessageBytes(message);
   WorkerCounters& counters = engine->counters_[worker_];
-  if (dest_worker == worker_) {
+  if (loc.worker == worker_) {
     counters.local_messages++;
     counters.local_message_bytes += bytes;
   } else {
     counters.remote_messages++;
     counters.remote_message_bytes += bytes;
   }
-  engine->messages_.Append(worker_, dest_worker, target_local,
+  engine->messages_.Append(worker_, loc.worker, loc.local,
                            std::move(message));
 }
 
@@ -419,16 +428,28 @@ inline void VertexContext<V, M>::SendMessageToAllNeighbors(const M& message) {
   // function of the message value), saving a virtual call per edge in
   // broadcast-style programs.
   auto* engine = engine_;
-  const internal::FastDiv divider = engine->messages_.divider();  // by value
+  const PartitionMap& partition = engine->partition_;
   const uint64_t bytes = engine->program_->MessageBytes(message);
   auto* const row = engine->messages_.SenderRow(worker_);
   const WorkerId self = worker_;
   uint64_t local = 0;
-  for (const VertexId target : out_neighbors()) {
-    const uint32_t target_local = divider.Div(target);
-    const WorkerId dest_worker = target - target_local * divider.divisor();
-    local += (dest_worker == self);
-    row[dest_worker].PushBack(target_local, M(message));
+  if (partition.is_modulo()) {
+    // Hash fast path: ownership is two multiplies per edge — the mode
+    // check is hoisted out of the loop so the seed scheme keeps its
+    // table-free inner loop.
+    const internal::FastDiv divider = partition.divider();  // by value
+    for (const VertexId target : out_neighbors()) {
+      const uint32_t target_local = divider.Div(target);
+      const WorkerId dest_worker = target - target_local * divider.divisor();
+      local += (dest_worker == self);
+      row[dest_worker].PushBack(target_local, M(message));
+    }
+  } else {
+    for (const VertexId target : out_neighbors()) {
+      const PartitionMap::Location loc = partition.Locate(target);
+      local += (loc.worker == self);
+      row[loc.worker].PushBack(loc.local, M(message));
+    }
   }
   const uint64_t remote = out_neighbors().size() - local;
   WorkerCounters& counters = engine->counters_[worker_];

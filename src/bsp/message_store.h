@@ -16,6 +16,11 @@
 //    CSR-style (offsets, payload) slab, so Compute reads a vertex's
 //    inbox as a contiguous std::span with zero per-vertex allocation.
 //
+// Vertex ownership and local addressing come from a bsp::PartitionMap
+// (bsp/partition.h): the store is agnostic to the strategy and only
+// relies on the map's invariant that local order == ascending global
+// order within a worker.
+//
 // Delivery order is the engine's determinism contract: per vertex,
 // messages appear ordered by sender worker ascending, and within one
 // sender by send-call order. The bucket sort below is a stable two-pass
@@ -38,49 +43,23 @@
 #include <vector>
 
 #include "bsp/counters.h"
+#include "bsp/partition.h"
 #include "graph/graph.h"
 
 namespace predict::bsp::internal {
 
-/// Division/modulo by a runtime constant via a precomputed magic
-/// multiply (Lemire's round-up method; exact for all 32-bit
-/// numerators). Vertex partitioning divides by num_workers on every
-/// send and every inbox lookup, so a hardware divide here is measurable.
-class FastDiv {
- public:
-  FastDiv() = default;
-  explicit FastDiv(uint32_t divisor)
-      : divisor_(divisor),
-        magic_(divisor > 1 ? ~uint64_t{0} / divisor + 1 : 0) {}
-
-  uint32_t divisor() const { return divisor_; }
-
-  uint32_t Div(uint32_t v) const {
-    if (divisor_ == 1) return v;
-    return static_cast<uint32_t>(
-        (static_cast<unsigned __int128>(magic_) * v) >> 64);
-  }
-
-  uint32_t Mod(uint32_t v) const { return v - Div(v) * divisor_; }
-
- private:
-  uint32_t divisor_ = 1;
-  uint64_t magic_ = 0;
-};
-
 /// \brief Per-worker mailbox arenas + barrier-time CSR slabs for one run.
 ///
-/// Vertices are hash-partitioned (owner = v % num_workers); within a
-/// worker a vertex is addressed by its local index v / num_workers.
-/// Offsets are 32-bit: a single worker receiving >= 2^32 messages in one
-/// superstep would first exhaust the simulated memory model by orders of
-/// magnitude.
+/// Within a worker a vertex is addressed by its partition-map local
+/// index. Offsets are 32-bit: a single worker receiving >= 2^32 messages
+/// in one superstep would first exhaust the simulated memory model by
+/// orders of magnitude.
 template <typename M>
 class MessageStore {
  public:
   /// One queued message: the target's local index on its destination
   /// worker (precomputed at send time, so the barrier-time bucket sort
-  /// does no divisions) plus the payload.
+  /// does no ownership lookups) plus the payload.
   struct OutMessage {
     uint32_t target_local;
     M payload;
@@ -157,23 +136,21 @@ class MessageStore {
     OutMessage* tail_ = nullptr;
   };
 
-  void Init(uint32_t num_workers, uint64_t num_vertices) {
-    num_workers_ = num_workers;
-    divider_ = FastDiv(num_workers);
+  /// `partition` is borrowed and must outlive the store (the engine owns
+  /// both for the duration of one run).
+  void Init(const PartitionMap* partition) {
+    partition_ = partition;
+    num_workers_ = partition->num_workers();
     outboxes_.clear();
-    outboxes_.resize(static_cast<size_t>(num_workers) * num_workers);
+    outboxes_.resize(static_cast<size_t>(num_workers_) * num_workers_);
     slabs_.clear();
-    slabs_.resize(num_workers);
-    for (WorkerId w = 0; w < num_workers; ++w) {
-      const uint64_t owned =
-          num_vertices / num_workers + (w < num_vertices % num_workers);
-      slabs_[w].entries.assign(owned, SlabEntry{});
+    slabs_.resize(num_workers_);
+    for (WorkerId w = 0; w < num_workers_; ++w) {
+      slabs_[w].entries.assign(partition->NumOwned(w), SlabEntry{});
     }
   }
 
-  /// Magic-multiply divider by num_workers, shared with the engine's
-  /// partitioning math.
-  const FastDiv& divider() const { return divider_; }
+  const PartitionMap& partition() const { return *partition_; }
 
   /// Queues a message from `sender` to the vertex with local index
   /// `target_local` on worker `dest` (the sender already split the
@@ -218,10 +195,11 @@ class MessageStore {
       total += box.size();
     }
     // The worklist needs the messaged vertices in ascending order. Local
-    // indices sort in the same order as the global ids they map to
-    // (v = local * W + w is monotone in local). When most owned vertices
-    // were messaged anyway (dense supersteps, e.g. PageRank), a linear
-    // stamp scan beats the comparison sort and is still O(messaged).
+    // indices sort in the same order as the global ids they map to (the
+    // partition map keeps owned lists ascending). When most owned
+    // vertices were messaged anyway (dense supersteps, e.g. PageRank), a
+    // linear stamp scan beats the comparison sort and is still
+    // O(messaged).
     if (messaged->size() >= slab.entries.size() / 4) {
       messaged->clear();
       const uint32_t owned = static_cast<uint32_t>(slab.entries.size());
@@ -256,8 +234,13 @@ class MessageStore {
       box.Clear();
     }
 
-    // Hand the worklist global vertex ids.
-    for (VertexId& v : *messaged) v = v * num_workers_ + w;
+    // Hand the worklist global vertex ids. The modulo branch keeps the
+    // hash fast path free of table loads.
+    if (partition_->is_modulo()) {
+      for (VertexId& v : *messaged) v = v * num_workers_ + w;
+    } else {
+      for (VertexId& v : *messaged) v = partition_->GlobalId(w, v);
+    }
   }
 
   /// Inbox of vertex `v` (owned by `w`) for the current superstep, as a
@@ -265,7 +248,7 @@ class MessageStore {
   /// delivered this superstep.
   std::span<const M> MessagesFor(WorkerId w, VertexId v) const {
     const Slab& slab = slabs_[w];
-    const SlabEntry& entry = slab.entries[divider_.Div(v)];
+    const SlabEntry& entry = slab.entries[partition_->LocalIndex(v)];
     if (entry.epoch != slab.stamp) return {};
     return {slab.payload.data() + entry.begin,
             slab.payload.data() + entry.end};
@@ -299,8 +282,8 @@ class MessageStore {
     return outboxes_[static_cast<size_t>(sender) * num_workers_ + dest];
   }
 
+  const PartitionMap* partition_ = nullptr;
   uint32_t num_workers_ = 0;
-  FastDiv divider_;
   std::vector<Outbox> outboxes_;  // [sender * W + dest]
   std::vector<Slab> slabs_;       // [dest]
 };

@@ -1,0 +1,152 @@
+#include "bsp/partition.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace predict::bsp {
+
+const char* PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kHashModulo:
+      return "hash";
+    case PartitionStrategy::kContiguousRange:
+      return "range";
+    case PartitionStrategy::kGreedyEdgeBalanced:
+      return "edge";
+  }
+  return "unknown";
+}
+
+Result<PartitionStrategy> ParsePartitionStrategy(const std::string& name) {
+  if (name == "hash" || name == "modulo") return PartitionStrategy::kHashModulo;
+  if (name == "range" || name == "contiguous") {
+    return PartitionStrategy::kContiguousRange;
+  }
+  if (name == "edge" || name == "edge-balanced") {
+    return PartitionStrategy::kGreedyEdgeBalanced;
+  }
+  return Status::InvalidArgument("unknown partition strategy '" + name +
+                                 "'; known: hash, range, edge");
+}
+
+PartitionMap PartitionMap::HashModulo(uint32_t num_workers,
+                                      uint64_t num_vertices) {
+  return PartitionMap(PartitionStrategy::kHashModulo, num_workers,
+                      num_vertices, /*modulo=*/true);
+}
+
+void PartitionMap::BuildTablesFromOwners() {
+  const uint64_t n = num_vertices_;
+  local_.resize(n);
+  owned_offsets_.assign(num_workers_ + 1, 0);
+  for (uint64_t v = 0; v < n; ++v) owned_offsets_[owner_[v] + 1]++;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    owned_offsets_[w + 1] += owned_offsets_[w];
+  }
+  owned_.resize(n);
+  std::vector<uint64_t> cursor(owned_offsets_.begin(),
+                               owned_offsets_.end() - 1);
+  // Ascending v => each worker's owned list is ascending, and the local
+  // index is the vertex's rank within it.
+  for (uint64_t v = 0; v < n; ++v) {
+    const WorkerId w = owner_[v];
+    local_[v] = static_cast<uint32_t>(cursor[w] - owned_offsets_[w]);
+    owned_[cursor[w]++] = static_cast<VertexId>(v);
+  }
+}
+
+PartitionMap PartitionMap::ContiguousRange(uint32_t num_workers,
+                                           uint64_t num_vertices) {
+  PartitionMap map(PartitionStrategy::kContiguousRange, num_workers,
+                   num_vertices, /*modulo=*/false);
+  map.owner_.resize(num_vertices);
+  uint64_t v = 0;
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const uint64_t count =
+        num_vertices / num_workers + (w < num_vertices % num_workers);
+    for (uint64_t i = 0; i < count; ++i) map.owner_[v++] = w;
+  }
+  map.BuildTablesFromOwners();
+  return map;
+}
+
+PartitionMap PartitionMap::GreedyEdgeBalanced(uint32_t num_workers,
+                                              const Graph& graph) {
+  const uint64_t n = graph.num_vertices();
+  PartitionMap map(PartitionStrategy::kGreedyEdgeBalanced, num_workers, n,
+                   /*modulo=*/false);
+  map.owner_.resize(n);
+
+  // Vertices by out-degree descending, ties by ascending id: a counting
+  // sort over degrees keeps construction O(|V| + max_degree) and exactly
+  // reproducible.
+  std::vector<VertexId> order(n);
+  {
+    uint64_t max_degree = 0;
+    for (uint64_t v = 0; v < n; ++v) {
+      max_degree = std::max(max_degree, graph.out_degree(v));
+    }
+    std::vector<uint64_t> bucket_starts(max_degree + 2, 0);
+    for (uint64_t v = 0; v < n; ++v) {
+      bucket_starts[max_degree - graph.out_degree(v) + 1]++;
+    }
+    for (size_t d = 1; d < bucket_starts.size(); ++d) {
+      bucket_starts[d] += bucket_starts[d - 1];
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      order[bucket_starts[max_degree - graph.out_degree(v)]++] =
+          static_cast<VertexId>(v);
+    }
+  }
+
+  // LPT: each vertex goes to the least-loaded worker; ties break to the
+  // lowest worker id, so the heap orders by (load, worker).
+  using Load = std::pair<uint64_t, WorkerId>;
+  std::priority_queue<Load, std::vector<Load>, std::greater<Load>> heap;
+  for (uint32_t w = 0; w < num_workers; ++w) heap.push({0, w});
+  for (const VertexId v : order) {
+    Load load = heap.top();
+    heap.pop();
+    map.owner_[v] = load.second;
+    load.first += graph.out_degree(v);
+    heap.push(load);
+  }
+
+  map.BuildTablesFromOwners();
+  return map;
+}
+
+PartitionMap PartitionMap::HashModuloTable(uint32_t num_workers,
+                                           uint64_t num_vertices) {
+  PartitionMap map(PartitionStrategy::kHashModulo, num_workers, num_vertices,
+                   /*modulo=*/false);
+  map.owner_.resize(num_vertices);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    map.owner_[v] = static_cast<WorkerId>(v % num_workers);
+  }
+  map.BuildTablesFromOwners();
+  return map;
+}
+
+PartitionMap PartitionMap::Build(PartitionStrategy strategy,
+                                 uint32_t num_workers, const Graph& graph) {
+  switch (strategy) {
+    case PartitionStrategy::kHashModulo:
+      return HashModulo(num_workers, graph.num_vertices());
+    case PartitionStrategy::kContiguousRange:
+      return ContiguousRange(num_workers, graph.num_vertices());
+    case PartitionStrategy::kGreedyEdgeBalanced:
+      return GreedyEdgeBalanced(num_workers, graph);
+  }
+  return HashModulo(num_workers, graph.num_vertices());
+}
+
+std::vector<uint64_t> PartitionMap::OutboundEdges(const Graph& graph) const {
+  std::vector<uint64_t> edges(num_workers_, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    edges[Owner(v)] += graph.out_degree(v);
+  }
+  return edges;
+}
+
+}  // namespace predict::bsp

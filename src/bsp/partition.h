@@ -1,0 +1,222 @@
+// Pluggable vertex partitioning for the BSP engine.
+//
+// The engine used to hard-code hash partitioning (owner = v %
+// num_workers, local index = v / num_workers) in four places: the
+// compute loop's seeding, the message store's slab addressing, the
+// worklist seeding and the per-worker counter totals. A PartitionMap
+// makes the vertex->worker assignment a first-class value those layers
+// all consume, so alternative data layouts — and their effect on the
+// critical-path worker PREDIcT models — become a scenario knob instead
+// of an engine rewrite.
+//
+// Strategies:
+//
+//   * kHashModulo       owner = v % W. The seed engine's scheme and the
+//                        *fast path*: ownership is pure arithmetic (a
+//                        Lemire magic-multiply divide, no tables), and
+//                        engine output is bit-identical to the
+//                        pre-partitioner engine for every worker/thread
+//                        count (pinned by golden fingerprints in
+//                        tests/determinism_test.cc).
+//   * kContiguousRange  worker w owns a contiguous id range; vertex
+//                        counts balanced to within one. Generator-
+//                        ordered graphs put early (hub) ids on low
+//                        workers, so range partitioning concentrates
+//                        edges — the partition-skew regime.
+//   * kGreedyEdgeBalanced  vertices sorted by out-degree descending and
+//                        greedily placed on the least-loaded worker (by
+//                        outbound edges; LPT scheduling). Flattens the
+//                        per-worker edge totals that drive the paper's
+//                        static critical-path choice.
+//
+// Local indices are always the rank of a vertex within its owner's
+// owned set in ascending global order, so local order == global order
+// per worker — the property the message store's barrier sort and the
+// worklists' merge rely on for determinism.
+//
+// Every strategy is a pure function of (strategy, num_workers, graph):
+// building a map twice yields identical assignments, and construction
+// is sequential, so partitioned runs stay bit-identical for any host
+// thread count.
+
+#ifndef PREDICT_BSP_PARTITION_H_
+#define PREDICT_BSP_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bsp/counters.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace predict::bsp {
+
+namespace internal {
+
+/// Division/modulo by a runtime constant via a precomputed magic
+/// multiply (Lemire's round-up method; exact for all 32-bit
+/// numerators). Hash partitioning divides by num_workers on every send
+/// and every inbox lookup, so a hardware divide here is measurable.
+class FastDiv {
+ public:
+  FastDiv() = default;
+  explicit FastDiv(uint32_t divisor)
+      : divisor_(divisor),
+        magic_(divisor > 1 ? ~uint64_t{0} / divisor + 1 : 0) {}
+
+  uint32_t divisor() const { return divisor_; }
+
+  uint32_t Div(uint32_t v) const {
+    if (divisor_ == 1) return v;
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(magic_) * v) >> 64);
+  }
+
+  uint32_t Mod(uint32_t v) const { return v - Div(v) * divisor_; }
+
+ private:
+  uint32_t divisor_ = 1;
+  uint64_t magic_ = 0;
+};
+
+}  // namespace internal
+
+/// How vertices are assigned to workers.
+enum class PartitionStrategy {
+  kHashModulo = 0,
+  kContiguousRange = 1,
+  kGreedyEdgeBalanced = 2,
+};
+
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+/// Parses "hash" | "range" | "edge" (also accepts the full enum names).
+Result<PartitionStrategy> ParsePartitionStrategy(const std::string& name);
+
+/// \brief A concrete vertex -> (worker, local index) assignment.
+///
+/// Immutable after construction; safe to share across threads. The
+/// modulo strategy is table-free (pure arithmetic); the others carry
+/// O(|V|) lookup tables plus per-worker owned-vertex lists.
+class PartitionMap {
+ public:
+  PartitionMap() = default;
+
+  /// The seed engine's scheme: owner = v % W, local = v / W.
+  static PartitionMap HashModulo(uint32_t num_workers, uint64_t num_vertices);
+
+  /// Contiguous ranges, vertex counts balanced to within one (low
+  /// workers get the extra vertex, mirroring the modulo counts).
+  static PartitionMap ContiguousRange(uint32_t num_workers,
+                                      uint64_t num_vertices);
+
+  /// LPT greedy: vertices by out-degree descending (ties: ascending id)
+  /// onto the worker with the fewest outbound edges so far (ties:
+  /// lowest worker id). Deterministic.
+  static PartitionMap GreedyEdgeBalanced(uint32_t num_workers,
+                                         const Graph& graph);
+
+  /// Table-backed copy of the modulo assignment. Exercises the general
+  /// table path with hash ownership; for tests and the perf gate.
+  static PartitionMap HashModuloTable(uint32_t num_workers,
+                                      uint64_t num_vertices);
+
+  /// Builds `strategy` over `graph` for `num_workers`.
+  static PartitionMap Build(PartitionStrategy strategy, uint32_t num_workers,
+                            const Graph& graph);
+
+  uint32_t num_workers() const { return num_workers_; }
+  uint64_t num_vertices() const { return num_vertices_; }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  /// True when ownership is the table-free modulo arithmetic.
+  bool is_modulo() const { return modulo_; }
+
+  /// The magic-multiply divider (modulo mode's arithmetic core).
+  const internal::FastDiv& divider() const { return div_; }
+
+  struct Location {
+    WorkerId worker;
+    uint32_t local;
+  };
+
+  /// Owner + local index of `v`; the hot send-path lookup (one
+  /// predictable branch, then either two multiplies or two loads).
+  Location Locate(VertexId v) const {
+    if (modulo_) {
+      const uint32_t local = div_.Div(v);
+      return {v - local * div_.divisor(), local};
+    }
+    return {owner_[v], local_[v]};
+  }
+
+  WorkerId Owner(VertexId v) const { return Locate(v).worker; }
+  uint32_t LocalIndex(VertexId v) const {
+    return modulo_ ? div_.Div(v) : local_[v];
+  }
+
+  /// Inverse of LocalIndex: the global id of worker `w`'s `local`-th
+  /// owned vertex (ascending global order).
+  VertexId GlobalId(WorkerId w, uint32_t local) const {
+    if (modulo_) {
+      return static_cast<VertexId>(local) * num_workers_ + w;
+    }
+    return owned_[owned_offsets_[w] + local];
+  }
+
+  /// Vertices owned by worker `w`.
+  uint64_t NumOwned(WorkerId w) const {
+    if (modulo_) {
+      return num_vertices_ / num_workers_ + (w < num_vertices_ % num_workers_);
+    }
+    return owned_offsets_[w + 1] - owned_offsets_[w];
+  }
+
+  /// Invokes fn(global id) for every vertex owned by `w`, ascending.
+  template <typename Fn>
+  void ForEachOwned(WorkerId w, Fn&& fn) const {
+    if (modulo_) {
+      for (uint64_t v = w; v < num_vertices_; v += num_workers_) {
+        fn(static_cast<VertexId>(v));
+      }
+      return;
+    }
+    const uint64_t begin = owned_offsets_[w];
+    const uint64_t end = owned_offsets_[w + 1];
+    for (uint64_t i = begin; i < end; ++i) fn(owned_[i]);
+  }
+
+  /// Outbound-edge totals per worker under this assignment — the basis
+  /// of the paper's static critical-path identification (§3.4).
+  std::vector<uint64_t> OutboundEdges(const Graph& graph) const;
+
+ private:
+  PartitionMap(PartitionStrategy strategy, uint32_t num_workers,
+               uint64_t num_vertices, bool modulo)
+      : strategy_(strategy),
+        num_workers_(num_workers),
+        num_vertices_(num_vertices),
+        modulo_(modulo),
+        div_(num_workers == 0 ? 1 : num_workers) {}
+
+  /// Derives local_, owned_offsets_ and owned_ from a filled owner_.
+  void BuildTablesFromOwners();
+
+  PartitionStrategy strategy_ = PartitionStrategy::kHashModulo;
+  uint32_t num_workers_ = 1;
+  uint64_t num_vertices_ = 0;
+  bool modulo_ = true;
+  internal::FastDiv div_;
+
+  // Table mode only.
+  std::vector<WorkerId> owner_;          // [vertex]
+  std::vector<uint32_t> local_;          // [vertex]
+  std::vector<uint64_t> owned_offsets_;  // [worker + 1] CSR into owned_
+  std::vector<VertexId> owned_;          // grouped by worker, ascending
+};
+
+}  // namespace predict::bsp
+
+#endif  // PREDICT_BSP_PARTITION_H_

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bsp/counters.h"
+#include "bsp/partition.h"
 #include "graph/graph.h"
 
 namespace predict::bsp::internal {
@@ -40,15 +41,11 @@ namespace predict::bsp::internal {
 class WorkerWorklist {
  public:
   /// Superstep-0 seed: every vertex starts active, so the worklist is
-  /// all vertices owned by `w` (owner = v % num_workers).
-  void SeedAllOwned(WorkerId w, uint32_t num_workers, uint64_t num_vertices) {
+  /// all vertices the partition map assigns to `w`, ascending.
+  void SeedAllOwned(WorkerId w, const PartitionMap& partition) {
     current_.clear();
-    const uint64_t owned =
-        num_vertices / num_workers + (w < num_vertices % num_workers);
-    current_.reserve(owned);
-    for (uint64_t v = w; v < num_vertices; v += num_workers) {
-      current_.push_back(static_cast<VertexId>(v));
-    }
+    current_.reserve(partition.NumOwned(w));
+    partition.ForEachOwned(w, [&](VertexId v) { current_.push_back(v); });
     survivors_.clear();
     messaged_.clear();
   }

@@ -79,6 +79,69 @@ Result<PredictionReport> Predictor::PredictRuntime(
                                   sample, transform, profile);
 }
 
+std::vector<Result<PredictionReport>> Predictor::PredictAcrossScenarios(
+    const std::string& algorithm, const Graph& graph,
+    const std::string& dataset_name, const AlgorithmConfig& overrides,
+    std::span<const bsp::ClusterScenario> scenarios, bsp::ThreadPool* pool) {
+  const PredictionPipeline stages(options_);
+  // History rows were observed on the baseline deployment (assumption
+  // iii) and the paper re-trains per cluster, so scenarios that model a
+  // different deployment must fit without them.
+  PredictorOptions history_free_options = options_;
+  history_free_options.history = nullptr;
+  const PredictionPipeline history_free_stages(history_free_options);
+  const std::string baseline_key = bsp::EngineOptionsKey(options_.engine);
+
+  // The front half is deployment-independent: validate, sample and
+  // transform once, then share the artifacts across every scenario.
+  auto front_half = [&]() -> Result<
+      std::pair<pipeline::SampleArtifact, pipeline::TransformArtifact>> {
+    const Status valid = stages.transform.Validate(algorithm, overrides);
+    if (!valid.ok()) return valid;
+    PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact sample,
+                             stages.sample.Run(graph));
+    PREDICT_ASSIGN_OR_RETURN(
+        pipeline::TransformArtifact transform,
+        stages.transform.Run(algorithm, overrides, sample.realized_ratio()));
+    return std::make_pair(std::move(sample), std::move(transform));
+  }();
+  if (!front_half.ok()) {
+    return std::vector<Result<PredictionReport>>(scenarios.size(),
+                                                 front_half.status());
+  }
+  const pipeline::SampleArtifact& sample = front_half->first;
+  const pipeline::TransformArtifact& transform = front_half->second;
+
+  auto predict_one = [&](size_t i) -> Result<PredictionReport> {
+    const bsp::ClusterScenario& scenario = scenarios[i];
+    const bsp::EngineOptions engine = scenario.ToEngineOptions(0);
+    PREDICT_ASSIGN_OR_RETURN(
+        pipeline::ProfileArtifact profile,
+        stages.profile.RunWithEngine(algorithm, dataset_name, sample,
+                                     transform, engine));
+    PREDICT_ASSIGN_OR_RETURN(
+        PredictionReport report,
+        AssemblePredictionReport(
+            StagesForDeployment(bsp::EngineOptionsKey(engine), baseline_key,
+                                stages, history_free_stages),
+            graph, algorithm, dataset_name, sample, transform, profile));
+    report.scenario = scenario.name;
+    return report;
+  };
+
+  // Slots are written by index, so results are positionally identical no
+  // matter which pool thread answers which scenario.
+  std::vector<Result<PredictionReport>> results(
+      scenarios.size(), Status::Internal("scenario not computed"));
+  if (pool != nullptr) {
+    pool->ParallelFor(scenarios.size(),
+                      [&](uint64_t i) { results[i] = predict_one(i); });
+  } else {
+    for (size_t i = 0; i < scenarios.size(); ++i) results[i] = predict_one(i);
+  }
+  return results;
+}
+
 PredictionEvaluation EvaluatePrediction(const PredictionReport& report,
                                         const bsp::RunStats& actual) {
   PredictionEvaluation eval;

@@ -16,10 +16,13 @@
 #ifndef PREDICT_CORE_PREDICTOR_H_
 #define PREDICT_CORE_PREDICTOR_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "algorithms/runner.h"
+#include "bsp/scenario.h"
+#include "bsp/thread_pool.h"
 #include "common/result.h"
 #include "core/cost_model.h"
 #include "core/extrapolator.h"
@@ -53,6 +56,9 @@ struct PredictorOptions {
 struct PredictionReport {
   std::string algorithm;
   std::string dataset;
+  /// Name of the cluster scenario the prediction targets; empty for the
+  /// caller's baseline engine configuration.
+  std::string scenario;
 
   /// Iterations observed on the sample run = predicted iterations (the
   /// transform function preserves the count; §3.3).
@@ -106,6 +112,20 @@ struct PredictionPipeline {
   pipeline::FitStage fit;
 };
 
+/// THE history-scoping rule, shared by Predictor's what-if sweep and
+/// PredictionService's scenario requests: history rows carry no
+/// deployment identity and belong to the baseline engine (assumption
+/// iii), so a deployment is assembled with the history-trained pipeline
+/// only when its canonical engine key (bsp::EngineOptionsKey) matches
+/// the baseline's; any other deployment fits on its sample run alone.
+/// Changing the match semantics here changes both APIs together.
+inline const PredictionPipeline& StagesForDeployment(
+    const std::string& engine_key, const std::string& baseline_key,
+    const PredictionPipeline& with_history,
+    const PredictionPipeline& history_free) {
+  return engine_key == baseline_key ? with_history : history_free;
+}
+
 /// Runs the back half of the pipeline (extrapolate -> fit -> predict)
 /// on already-computed front-half artifacts and assembles the full
 /// PredictionReport. Deterministic in its inputs: cached and freshly
@@ -133,6 +153,29 @@ class Predictor {
                                           const Graph& graph,
                                           const std::string& dataset_name = "",
                                           const AlgorithmConfig& overrides = {});
+
+  /// Cross-deployment what-if (the paper's §5 deployment axis): predicts
+  /// `algorithm` on `graph` under each scenario. The graph is sampled
+  /// and the configuration transformed exactly once (neither depends on
+  /// the deployment); the sample run is profiled and the cost model
+  /// fitted per scenario, each under the scenario's engine options.
+  ///
+  /// The history store carries no deployment identity — assumption iii
+  /// ties its rows to the predictor's configured engine — and the paper
+  /// re-trains the cost model per cluster, so history joins a scenario's
+  /// fit only when the scenario's canonical engine key matches the
+  /// baseline engine's; every other scenario fits on its sample run
+  /// alone.
+  ///
+  /// results[i] corresponds to scenarios[i]. `pool` fans the scenarios
+  /// out (null = sequential); every stage is deterministic, so the
+  /// fanned-out batch is bit-identical to the sequential loop. Scenario
+  /// runs simulate inline on their fan-out thread (num_threads = 0).
+  std::vector<Result<PredictionReport>> PredictAcrossScenarios(
+      const std::string& algorithm, const Graph& graph,
+      const std::string& dataset_name, const AlgorithmConfig& overrides,
+      std::span<const bsp::ClusterScenario> scenarios,
+      bsp::ThreadPool* pool = nullptr);
 
   const PredictorOptions& options() const { return options_; }
 

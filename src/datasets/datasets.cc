@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bsp/scenario.h"
 #include "graph/generators.h"
 
 namespace predict {
@@ -82,16 +83,12 @@ Result<Graph> MakeDataset(const std::string& name, double scale) {
 }
 
 bsp::EngineOptions PaperClusterOptions() {
-  bsp::EngineOptions options;
-  options.num_workers = 29;  // the paper's 30 tasks = 29 workers + master
-  options.max_supersteps = 60;
-  // Calibrated against the stand-in datasets: semi-clustering and
-  // neighborhood estimation on "uk" peak near (but under) this budget —
-  // the paper reports 90% RAM utilization for SC on UK — while
-  // semi-clustering / top-k / neighborhood estimation on "tw" exceed it
-  // and fail with ResourceExhausted (§5 "Memory Limits").
-  options.memory_budget_bytes = 300ull * 1024 * 1024;
-  return options;
+  // The paper deployment lives in the scenario registry ("giraph-29":
+  // 29 workers, 60-superstep cap, and a 300 MiB budget calibrated so
+  // that semi-clustering / top-k / neighborhood estimation exhaust
+  // memory on "tw" but fit on "uk" — §5 "Memory Limits"); this function
+  // is the historical accessor for it.
+  return bsp::FindScenario("giraph-29").value().ToEngineOptions();
 }
 
 }  // namespace predict

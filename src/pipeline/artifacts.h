@@ -81,6 +81,13 @@ struct ProfileArtifact {
   /// contract: it is the one host-dependent field, and a cached
   /// ProfileArtifact reports the wall time of the run that produced it.
   double sample_wall_seconds = 0.0;
+  /// Provenance: the canonical key (bsp::EngineOptionsKey) of the
+  /// engine configuration the profile was measured under. Profiles are
+  /// only comparable within one such configuration; consumers holding a
+  /// cached artifact can check which deployment produced it.
+  /// (PredictionService derives its cache key from the same
+  /// EngineOptionsKey before the artifact exists.)
+  std::string scenario_key;
 };
 
 /// Output of ExtrapolateStage: scaling factors and the profile scaled to

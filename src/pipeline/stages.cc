@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "bsp/scenario.h"
 #include "core/features.h"
 
 namespace predict::pipeline {
@@ -65,17 +66,19 @@ Result<TransformArtifact> TransformStage::Run(const std::string& algorithm,
   return artifact;
 }
 
-Result<ProfileArtifact> ProfileStage::Run(
+Result<ProfileArtifact> ProfileStage::RunWithEngine(
     const std::string& algorithm, const std::string& dataset_name,
-    const SampleArtifact& sample, const TransformArtifact& transform) const {
+    const SampleArtifact& sample, const TransformArtifact& transform,
+    const bsp::EngineOptions& engine) const {
   RunOptions run_options;
-  run_options.engine = engine_;
+  run_options.engine = engine;
   run_options.config_overrides = transform.sample_config;
   PREDICT_ASSIGN_OR_RETURN(
       AlgorithmRunResult run,
       RunAlgorithmByName(algorithm, sample.sample.subgraph, run_options));
 
   ProfileArtifact artifact;
+  artifact.scenario_key = bsp::EngineOptionsKey(engine);
   artifact.sample_total_seconds = run.stats.total_seconds;
   artifact.sample_wall_seconds = run.stats.wall_seconds;
   artifact.sample_profile = ProfileFromRunStats(

@@ -68,15 +68,34 @@ class TransformStage {
 /// subgraph with the transformed configuration and extracts the
 /// critical-worker profile. The dominant cost of a prediction — the
 /// artifact PredictionService caches most aggressively.
+///
+/// The stage is configured with a default engine (the deployment the
+/// prediction targets), but a what-if sweep can profile the same sample
+/// under any other deployment via RunWithEngine — the stage itself stays
+/// immutable and shareable.
 class ProfileStage {
  public:
-  explicit ProfileStage(bsp::EngineOptions engine) : engine_(engine) {}
+  explicit ProfileStage(bsp::EngineOptions engine)
+      : engine_(std::move(engine)) {}
 
   /// `dataset_name` labels the profile ("<dataset>_sample").
   Result<ProfileArtifact> Run(const std::string& algorithm,
                               const std::string& dataset_name,
                               const SampleArtifact& sample,
-                              const TransformArtifact& transform) const;
+                              const TransformArtifact& transform) const {
+    return RunWithEngine(algorithm, dataset_name, sample, transform, engine_);
+  }
+
+  /// Runs the sample under an explicit engine configuration (a cluster
+  /// scenario's ToEngineOptions); the artifact carries the matching
+  /// scenario_key.
+  Result<ProfileArtifact> RunWithEngine(const std::string& algorithm,
+                                        const std::string& dataset_name,
+                                        const SampleArtifact& sample,
+                                        const TransformArtifact& transform,
+                                        const bsp::EngineOptions& engine) const;
+
+  const bsp::EngineOptions& engine() const { return engine_; }
 
  private:
   bsp::EngineOptions engine_;

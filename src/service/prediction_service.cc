@@ -14,6 +14,11 @@ uint32_t ResolveThreads(int num_threads) {
   return hw == 0 ? 4 : hw;
 }
 
+PredictorOptions WithoutHistory(PredictorOptions options) {
+  options.history = nullptr;
+  return options;
+}
+
 }  // namespace
 
 // A cache slot that deduplicates concurrent computation: whichever
@@ -32,6 +37,8 @@ struct PredictionService::ProfileEntry {
 PredictionService::PredictionService(PredictionServiceOptions options)
     : options_(std::move(options)),
       stages_(options_.predictor),
+      history_free_stages_(WithoutHistory(options_.predictor)),
+      default_engine_key_(bsp::EngineOptionsKey(options_.predictor.engine)),
       pool_(ResolveThreads(options_.num_threads)) {}
 
 Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
@@ -72,11 +79,13 @@ Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
 Result<PredictionService::ProfilePtr> PredictionService::GetOrComputeProfile(
     const std::string& profile_key, const std::string& algorithm,
     const std::string& dataset, const pipeline::SampleArtifact& sample,
-    const pipeline::TransformArtifact& transform) {
+    const pipeline::TransformArtifact& transform,
+    const bsp::EngineOptions& engine) {
   auto compute = [&]() -> Result<ProfilePtr> {
     PREDICT_ASSIGN_OR_RETURN(
         pipeline::ProfileArtifact artifact,
-        stages_.profile.Run(algorithm, dataset, sample, transform));
+        stages_.profile.RunWithEngine(algorithm, dataset, sample, transform,
+                                      engine));
     return std::make_shared<const pipeline::ProfileArtifact>(
         std::move(artifact));
   };
@@ -118,7 +127,8 @@ Result<PredictionReport> PredictionService::Predict(
       stages_.transform.Validate(request.algorithm, request.overrides);
   if (!valid.ok()) return valid;
 
-  // 1. Sample (cached on the graph's content + sampler options).
+  // 1. Sample (cached on the graph's content + sampler options; the
+  // sample is deployment-independent, so scenario requests share it).
   PREDICT_ASSIGN_OR_RETURN(SamplePtr sample, GetOrComputeSample(graph));
 
   // 2. Transform (cheap; always recomputed).
@@ -128,21 +138,62 @@ Result<PredictionReport> PredictionService::Predict(
                                                  sample->realized_ratio()));
 
   // 3. Sample run (cached on sample identity + algorithm + dataset label
-  // + transformed config — everything the profile depends on besides the
-  // service-wide engine options).
+  // + transformed config + the target deployment's canonical engine key
+  // — everything the profile depends on).
+  bsp::EngineOptions engine = options_.predictor.engine;
+  std::string engine_key = default_engine_key_;
+  if (request.scenario.has_value()) {
+    // Scenario runs simulate inline on the calling (fan-out) thread,
+    // like Predictor::PredictAcrossScenarios: inheriting a hardware-wide
+    // num_threads here would nest an engine pool inside every
+    // PredictScenarios pool task. Inline execution never changes
+    // simulated output (the determinism contract).
+    engine = request.scenario->ToEngineOptions(0);
+    engine_key = bsp::EngineOptionsKey(engine);
+  }
   const std::string profile_key = sample->key.ToString() + "|" +
                                   request.algorithm + "|" + request.dataset +
-                                  "|" + transform.ConfigKey();
+                                  "|" + transform.ConfigKey() + "|" +
+                                  engine_key;
   PREDICT_ASSIGN_OR_RETURN(
       ProfilePtr profile,
       GetOrComputeProfile(profile_key, request.algorithm, request.dataset,
-                          *sample, transform));
+                          *sample, transform, engine));
 
   // 4-6. Extrapolate, fit, predict — per request, never cached (history
-  // exclusion and the full graph differ per request).
-  return AssemblePredictionReport(stages_, graph, request.algorithm,
-                                  request.dataset, *sample, transform,
-                                  *profile);
+  // exclusion and the full graph differ per request). History belongs
+  // to the configured deployment only (StagesForDeployment).
+  const PredictionPipeline& assemble_stages = StagesForDeployment(
+      engine_key, default_engine_key_, stages_, history_free_stages_);
+  PREDICT_ASSIGN_OR_RETURN(
+      PredictionReport report,
+      AssemblePredictionReport(assemble_stages, graph, request.algorithm,
+                               request.dataset, *sample, transform, *profile));
+  if (request.scenario.has_value()) report.scenario = request.scenario->name;
+  return report;
+}
+
+std::vector<Result<PredictionReport>> PredictionService::PredictScenarios(
+    const PredictionRequest& request,
+    const std::vector<bsp::ClusterScenario>& scenarios) {
+  // One request per scenario through the regular cached path: the first
+  // to need the sample computes it, everyone else joins it.
+  std::vector<std::optional<Result<PredictionReport>>> slots(scenarios.size());
+  {
+    std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+    pool_.ParallelFor(scenarios.size(), [&](uint64_t i) {
+      PredictionRequest scenario_request = request;
+      scenario_request.scenario = scenarios[i];
+      slots[i].emplace(Predict(scenario_request));
+    });
+  }
+
+  std::vector<Result<PredictionReport>> results;
+  results.reserve(scenarios.size());
+  for (std::optional<Result<PredictionReport>>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
 }
 
 std::vector<Result<PredictionReport>> PredictionService::PredictBatch(

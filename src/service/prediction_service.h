@@ -6,13 +6,22 @@
 // Two artifact caches amortize the expensive front half of the pipeline:
 //
 //   sample cache   (graph fingerprint, SamplerOptions) -> SampleArtifact
-//   profile cache  (sample key, algorithm, dataset, transformed config)
-//                  -> ProfileArtifact
+//   profile cache  (sample key, algorithm, dataset, transformed config,
+//                  scenario key) -> ProfileArtifact
 //
 // Both are shared across concurrent Predict calls: the first request for
 // a key computes the artifact while later requests for the same key wait
 // on it (no duplicated sampling or sample runs, no thundering herd).
 // PredictBatch fans requests out over a bsp::ThreadPool.
+//
+// Requests may target a cluster scenario (bsp/scenario.h) other than the
+// service's configured deployment: the sample cache is scenario-agnostic
+// (sampling is deployment-independent) and keeps its hits, while the
+// profile cache keys on the scenario's canonical engine key, so a
+// profile measured under one deployment is never served for another.
+// PredictScenarios sweeps one request across many scenarios, reusing the
+// cached sample and fanning the per-scenario sample runs out over the
+// pool.
 //
 // Determinism contract: every stage is deterministic, so a report served
 // from warm caches under any concurrency is bit-identical to a cold
@@ -25,10 +34,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "bsp/scenario.h"
 #include "bsp/thread_pool.h"
 #include "common/result.h"
 #include "core/predictor.h"
@@ -46,6 +57,14 @@ struct PredictionRequest {
   std::string dataset;
   /// Overrides for the *actual* run's configuration.
   AlgorithmConfig overrides;
+  /// Target deployment; unset = the service's configured engine. Only
+  /// the engine configuration changes — sampler and cost-model options
+  /// stay the service's (the caches remain valid across scenarios).
+  /// History rows carry no deployment identity, so they join the fit
+  /// only when the scenario's canonical engine key matches the
+  /// service's configured engine; other scenarios fit on the sample run
+  /// alone (the paper re-trains its cost model per cluster).
+  std::optional<bsp::ClusterScenario> scenario;
 };
 
 struct PredictionServiceOptions {
@@ -93,6 +112,16 @@ class PredictionService {
   std::vector<Result<PredictionReport>> PredictBatch(
       const std::vector<PredictionRequest>& requests);
 
+  /// Cross-deployment what-if: answers `request` under each scenario
+  /// (ignoring request.scenario), fanning out across the pool. The
+  /// sample is shared across scenarios via the sample cache; each
+  /// scenario's sample run populates its own profile-cache slot.
+  /// results[i] corresponds to scenarios[i] and is bit-identical to a
+  /// sequential per-scenario loop.
+  std::vector<Result<PredictionReport>> PredictScenarios(
+      const PredictionRequest& request,
+      const std::vector<bsp::ClusterScenario>& scenarios);
+
   ServiceCacheStats cache_stats() const;
 
   /// Drops every cached artifact (stats are kept).
@@ -111,10 +140,18 @@ class PredictionService {
   Result<ProfilePtr> GetOrComputeProfile(
       const std::string& profile_key, const std::string& algorithm,
       const std::string& dataset, const pipeline::SampleArtifact& sample,
-      const pipeline::TransformArtifact& transform);
+      const pipeline::TransformArtifact& transform,
+      const bsp::EngineOptions& engine);
 
   PredictionServiceOptions options_;
   PredictionPipeline stages_;
+  /// stages_ with the history store detached: assembles reports for
+  /// scenarios that model a deployment other than the configured one
+  /// (history rows belong to the configured deployment only).
+  PredictionPipeline history_free_stages_;
+  /// EngineOptionsKey of the service's configured deployment, the
+  /// profile-cache scenario component for requests without a scenario.
+  std::string default_engine_key_;
 
   /// Serializes PredictBatch callers (ThreadPool runs one batch at a
   /// time); single Predict calls do not take this.

@@ -16,17 +16,24 @@
 
 #include "algorithms/connected_components.h"
 #include "algorithms/pagerank.h"
+#include "algorithms/semiclustering.h"
 #include "bsp/engine.h"
+#include "bsp/partition.h"
 #include "graph/generators.h"
+#include "tests/run_fingerprint.h"
 
 namespace predict {
 namespace {
 
 using bsp::Engine;
 using bsp::EngineOptions;
+using bsp::PartitionStrategy;
 using bsp::RunStats;
 using bsp::VertexContext;
 using bsp::WorkerCounters;
+using testing::FingerprintDoubles;
+using testing::FingerprintIds;
+using testing::FingerprintRunStats;
 
 constexpr int kThreadCounts[] = {0, 1, 2, 8};
 
@@ -110,6 +117,117 @@ TEST(DeterminismTest, ConnectedComponentsBitIdenticalAcrossThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     ExpectStatsIdentical(baseline.stats, result->stats);
     EXPECT_EQ(baseline.labels, result->labels);
+  }
+}
+
+// ------------------------------------------- seed-engine golden pinning
+
+// The run fingerprints of the seed engine (captured before the
+// PartitionMap refactor, commit 38cd185) for PageRank, connected
+// components and semi-clustering across worker counts. The hash
+// Partitioner is the seed scheme's replacement and must reproduce these
+// bit for bit, for every worker count and every host thread count; any
+// change here is a silent behavioural break of the engine, not a test to
+// update.
+struct GoldenFingerprint {
+  uint32_t workers;
+  uint64_t pagerank;    // RunStats + final ranks
+  uint64_t components;  // RunStats + final labels
+  uint64_t semicluster; // RunStats
+};
+
+constexpr GoldenFingerprint kSeedGoldens[] = {
+    {3u, 0x7595415653674d19ull, 0x4981973de31be539ull, 0x171f52343d1eacceull},
+    {10u, 0xe276f012023efb15ull, 0x45ee625acd5ce880ull, 0xbb3b12a8e4caa168ull},
+    {29u, 0x8d186e2e82759bffull, 0x020ae60863c92204ull, 0x9e525aadf52c72a4ull},
+    {64u, 0xb25ca69b7ae61869ull, 0x21fe403a66b4e24aull, 0xdd228056bd97b7bbull},
+};
+
+const Graph& GoldenPrGraph() {
+  static const Graph g =
+      GeneratePreferentialAttachment({4000, 6, 0.3, 29}).MoveValue();
+  return g;
+}
+const Graph& GoldenCcGraph() {
+  static const Graph g =
+      GeneratePreferentialAttachment({3000, 3, 0.5, 31}).MoveValue();
+  return g;
+}
+const Graph& GoldenScGraph() {
+  static const Graph g =
+      GeneratePreferentialAttachment({800, 4, 0.4, 7}).MoveValue();
+  return g;
+}
+
+TEST(DeterminismTest, HashPartitionerReproducesSeedEngineFingerprints) {
+  for (const GoldenFingerprint& golden : kSeedGoldens) {
+    for (const int threads : kThreadCounts) {
+      SCOPED_TRACE("workers=" + std::to_string(golden.workers) +
+                   " threads=" + std::to_string(threads));
+      EngineOptions options;
+      options.num_workers = golden.workers;
+      options.num_threads = threads;
+
+      auto pr = RunPageRank(GoldenPrGraph(), {{"tau", 1e-6}}, options);
+      ASSERT_TRUE(pr.ok());
+      EXPECT_EQ(FingerprintDoubles(pr->ranks, FingerprintRunStats(pr->stats)),
+                golden.pagerank);
+
+      auto cc = RunConnectedComponents(GoldenCcGraph(), options);
+      ASSERT_TRUE(cc.ok());
+      EXPECT_EQ(FingerprintIds(cc->labels, FingerprintRunStats(cc->stats)),
+                golden.components);
+
+      auto sc = RunSemiClustering(GoldenScGraph(), {{"tau", 0.01}}, options);
+      ASSERT_TRUE(sc.ok());
+      EXPECT_EQ(FingerprintRunStats(sc->stats), golden.semicluster);
+    }
+  }
+}
+
+// The alternative partitioners have no seed to match, but each must be
+// internally deterministic: bit-identical output for any host thread
+// count and across repeated runs.
+TEST(DeterminismTest, AlternativePartitionersAreInternallyDeterministic) {
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kContiguousRange,
+        PartitionStrategy::kGreedyEdgeBalanced}) {
+    for (const uint32_t workers : {10u, 29u}) {
+      SCOPED_TRACE(std::string(PartitionStrategyName(strategy)) +
+                   " workers=" + std::to_string(workers));
+      bool have_baseline = false;
+      uint64_t baseline_pr = 0;
+      uint64_t baseline_cc = 0;
+      // Two passes at thread count 0 pin run-to-run determinism; the
+      // remaining thread counts pin thread-count independence.
+      const int thread_counts[] = {0, 0, 1, 2, 8};
+      for (const int threads : thread_counts) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        EngineOptions options;
+        options.num_workers = workers;
+        options.num_threads = threads;
+        options.partition = strategy;
+
+        auto pr = RunPageRank(GoldenPrGraph(), {{"tau", 1e-6}}, options);
+        ASSERT_TRUE(pr.ok());
+        const uint64_t pr_fp =
+            FingerprintDoubles(pr->ranks, FingerprintRunStats(pr->stats));
+
+        auto cc = RunConnectedComponents(GoldenCcGraph(), options);
+        ASSERT_TRUE(cc.ok());
+        const uint64_t cc_fp =
+            FingerprintIds(cc->labels, FingerprintRunStats(cc->stats));
+
+        if (!have_baseline) {
+          baseline_pr = pr_fp;
+          baseline_cc = cc_fp;
+          have_baseline = true;
+          continue;
+        }
+        EXPECT_EQ(pr_fp, baseline_pr);
+        EXPECT_EQ(cc_fp, baseline_cc);
+      }
+    }
   }
 }
 

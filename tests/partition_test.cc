@@ -1,0 +1,198 @@
+// PartitionMap unit tests: the ownership bijection every engine layer
+// relies on, strategy-specific balance properties, and the equivalence
+// of the arithmetic hash fast path with the general table path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/connected_components.h"
+#include "bsp/engine.h"
+#include "bsp/partition.h"
+#include "graph/generators.h"
+
+namespace predict {
+namespace {
+
+using bsp::PartitionMap;
+using bsp::PartitionStrategy;
+using bsp::WorkerId;
+
+const Graph& TestGraph() {
+  static const Graph g =
+      GeneratePreferentialAttachment({5000, 6, 0.3, 17}).MoveValue();
+  return g;
+}
+
+// Every strategy must expose a consistent bijection between global ids
+// and (worker, local) pairs, with local order == ascending global order.
+void CheckBijection(const PartitionMap& map) {
+  const uint64_t n = map.num_vertices();
+  const uint32_t workers = map.num_workers();
+
+  uint64_t total_owned = 0;
+  for (WorkerId w = 0; w < workers; ++w) {
+    uint64_t count = 0;
+    VertexId previous = 0;
+    map.ForEachOwned(w, [&](VertexId v) {
+      EXPECT_EQ(map.Owner(v), w);
+      EXPECT_EQ(map.LocalIndex(v), count) << "local index is the rank";
+      EXPECT_EQ(map.GlobalId(w, static_cast<uint32_t>(count)), v);
+      if (count > 0) EXPECT_GT(v, previous) << "owned order is ascending";
+      previous = v;
+      ++count;
+    });
+    EXPECT_EQ(count, map.NumOwned(w));
+    total_owned += count;
+  }
+  EXPECT_EQ(total_owned, n) << "every vertex owned exactly once";
+
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionMap::Location loc = map.Locate(v);
+    EXPECT_EQ(loc.worker, map.Owner(v));
+    EXPECT_EQ(loc.local, map.LocalIndex(v));
+    EXPECT_EQ(map.GlobalId(loc.worker, loc.local), v);
+  }
+}
+
+TEST(PartitionTest, HashModuloMatchesSeedScheme) {
+  for (const uint32_t workers : {1u, 3u, 29u, 64u}) {
+    const PartitionMap map = PartitionMap::HashModulo(workers, 1000);
+    EXPECT_TRUE(map.is_modulo());
+    for (VertexId v = 0; v < 1000; ++v) {
+      EXPECT_EQ(map.Owner(v), v % workers);
+      EXPECT_EQ(map.LocalIndex(v), v / workers);
+    }
+    CheckBijection(map);
+  }
+}
+
+TEST(PartitionTest, HashTablePathMatchesArithmeticPath) {
+  for (const uint32_t workers : {3u, 29u}) {
+    const PartitionMap fast = PartitionMap::HashModulo(workers, 2111);
+    const PartitionMap table = PartitionMap::HashModuloTable(workers, 2111);
+    EXPECT_FALSE(table.is_modulo());
+    for (VertexId v = 0; v < 2111; ++v) {
+      EXPECT_EQ(fast.Owner(v), table.Owner(v));
+      EXPECT_EQ(fast.LocalIndex(v), table.LocalIndex(v));
+    }
+    for (WorkerId w = 0; w < workers; ++w) {
+      EXPECT_EQ(fast.NumOwned(w), table.NumOwned(w));
+    }
+    CheckBijection(table);
+  }
+}
+
+TEST(PartitionTest, ContiguousRangeIsContiguousAndBalanced) {
+  for (const uint32_t workers : {4u, 29u}) {
+    const PartitionMap map = PartitionMap::ContiguousRange(workers, 1003);
+    CheckBijection(map);
+    uint64_t min_owned = ~0ull, max_owned = 0;
+    WorkerId previous_owner = 0;
+    for (VertexId v = 0; v < 1003; ++v) {
+      EXPECT_GE(map.Owner(v), previous_owner) << "owners are non-decreasing";
+      previous_owner = map.Owner(v);
+    }
+    for (WorkerId w = 0; w < workers; ++w) {
+      min_owned = std::min(min_owned, map.NumOwned(w));
+      max_owned = std::max(max_owned, map.NumOwned(w));
+    }
+    EXPECT_LE(max_owned - min_owned, 1u) << "vertex-balanced to within one";
+  }
+}
+
+TEST(PartitionTest, EdgeBalancedFlattensOutboundEdgeSkew) {
+  const Graph& g = TestGraph();
+  for (const uint32_t workers : {10u, 29u}) {
+    const PartitionMap hash = PartitionMap::HashModulo(workers, g.num_vertices());
+    const PartitionMap range =
+        PartitionMap::ContiguousRange(workers, g.num_vertices());
+    const PartitionMap edge = PartitionMap::GreedyEdgeBalanced(workers, g);
+    CheckBijection(edge);
+
+    const auto max_edges = [&](const PartitionMap& map) {
+      const std::vector<uint64_t> edges = map.OutboundEdges(g);
+      return *std::max_element(edges.begin(), edges.end());
+    };
+    // The preferential-attachment hubs sit at low ids, so range
+    // partitioning is badly skewed; LPT must beat both layouts and sit
+    // close to the perfect per-worker average.
+    const uint64_t perfect = (g.num_edges() + workers - 1) / workers;
+    EXPECT_LE(max_edges(edge), max_edges(hash)) << "workers=" << workers;
+    EXPECT_LT(max_edges(edge), max_edges(range)) << "workers=" << workers;
+    EXPECT_LE(max_edges(edge), perfect + perfect / 10) << "workers=" << workers;
+  }
+}
+
+TEST(PartitionTest, GreedyEdgeBalancedIsDeterministic) {
+  const Graph& g = TestGraph();
+  const PartitionMap a = PartitionMap::GreedyEdgeBalanced(29, g);
+  const PartitionMap b = PartitionMap::GreedyEdgeBalanced(29, g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(a.Owner(v), b.Owner(v)) << "vertex " << v;
+  }
+}
+
+// Vertex-program results that do not depend on message arrival order
+// must be identical under every layout — partitioning decides where a
+// vertex computes, never what it computes.
+TEST(PartitionTest, ConnectedComponentsLabelsAgreeAcrossStrategies) {
+  const Graph g =
+      GeneratePreferentialAttachment({2000, 3, 0.5, 9}).MoveValue();
+  std::vector<VertexId> baseline;
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kHashModulo, PartitionStrategy::kContiguousRange,
+        PartitionStrategy::kGreedyEdgeBalanced}) {
+    bsp::EngineOptions options;
+    options.num_workers = 13;
+    options.num_threads = 0;
+    options.partition = strategy;
+    auto result = RunConnectedComponents(g, options);
+    ASSERT_TRUE(result.ok()) << PartitionStrategyName(strategy);
+    if (baseline.empty()) {
+      baseline = result->labels;
+      continue;
+    }
+    EXPECT_EQ(result->labels, baseline) << PartitionStrategyName(strategy);
+  }
+}
+
+// The engine's per-superstep active/messaged totals are layout-
+// independent as well (only the local/remote split moves): the same
+// vertices compute, wherever they live.
+TEST(PartitionTest, ActiveVertexTotalsAgreeAcrossStrategies) {
+  const Graph g =
+      GeneratePreferentialAttachment({2000, 3, 0.5, 9}).MoveValue();
+  std::vector<uint64_t> baseline_active;
+  std::vector<uint64_t> baseline_messages;
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kHashModulo, PartitionStrategy::kContiguousRange,
+        PartitionStrategy::kGreedyEdgeBalanced}) {
+    bsp::EngineOptions options;
+    options.num_workers = 7;
+    options.num_threads = 0;
+    options.partition = strategy;
+    auto result = RunConnectedComponents(g, options);
+    ASSERT_TRUE(result.ok());
+    std::vector<uint64_t> active;
+    std::vector<uint64_t> messages;
+    for (const bsp::SuperstepStats& step : result->stats.supersteps) {
+      const bsp::WorkerCounters totals = step.Totals();
+      active.push_back(totals.active_vertices);
+      messages.push_back(totals.total_messages());
+    }
+    if (baseline_active.empty()) {
+      baseline_active = std::move(active);
+      baseline_messages = std::move(messages);
+      continue;
+    }
+    EXPECT_EQ(active, baseline_active) << PartitionStrategyName(strategy);
+    EXPECT_EQ(messages, baseline_messages) << PartitionStrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace predict

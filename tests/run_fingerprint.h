@@ -1,0 +1,94 @@
+// FNV-1a fingerprints over everything the BSP simulation derives.
+//
+// A run fingerprint folds the complete RunStats (halt reason, memory
+// model, per-superstep simulated seconds, critical workers, the full
+// per-worker Table-1 counters and the reduced aggregates) and, where the
+// algorithm produces flat output, the bit patterns of the final vertex
+// values. Two runs with the same fingerprint are bit-identical in every
+// field the determinism contract covers (host wall time excluded).
+//
+// The golden constants in tests/determinism_test.cc were captured from
+// the seed engine (the pre-partitioner modulo scheme); the hash
+// Partitioner must keep reproducing them forever.
+
+#ifndef PREDICT_TESTS_RUN_FINGERPRINT_H_
+#define PREDICT_TESTS_RUN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "bsp/counters.h"
+
+namespace predict::testing {
+
+inline uint64_t FnvMixBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t FnvMix(uint64_t h, uint64_t x) {
+  return FnvMixBytes(h, &x, sizeof(x));
+}
+
+inline uint64_t FnvMixDouble(uint64_t h, double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return FnvMix(h, u);
+}
+
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/// Order-sensitive digest of a RunStats (wall time excluded).
+inline uint64_t FingerprintRunStats(const bsp::RunStats& stats,
+                                    uint64_t h = kFnvOffsetBasis) {
+  h = FnvMix(h, static_cast<uint64_t>(stats.halt_reason));
+  h = FnvMix(h, stats.peak_memory_bytes);
+  h = FnvMixDouble(h, stats.superstep_phase_seconds);
+  h = FnvMixDouble(h, stats.setup_seconds);
+  h = FnvMixDouble(h, stats.read_seconds);
+  h = FnvMixDouble(h, stats.write_seconds);
+  h = FnvMixDouble(h, stats.total_seconds);
+  h = FnvMix(h, stats.static_critical_worker);
+  for (const uint64_t e : stats.worker_outbound_edges) h = FnvMix(h, e);
+  for (const bsp::SuperstepStats& step : stats.supersteps) {
+    h = FnvMix(h, static_cast<uint64_t>(step.superstep));
+    h = FnvMixDouble(h, step.simulated_seconds);
+    h = FnvMix(h, step.critical_worker);
+    h = FnvMix(h, step.memory_bytes);
+    for (const bsp::WorkerCounters& c : step.per_worker) {
+      h = FnvMix(h, c.active_vertices);
+      h = FnvMix(h, c.total_vertices);
+      h = FnvMix(h, c.local_messages);
+      h = FnvMix(h, c.remote_messages);
+      h = FnvMix(h, c.local_message_bytes);
+      h = FnvMix(h, c.remote_message_bytes);
+    }
+    for (const auto& [name, value] : step.aggregates) {
+      h = FnvMixBytes(h, name.data(), name.size());
+      h = FnvMixDouble(h, value);
+    }
+  }
+  return h;
+}
+
+/// Folds final vertex values into a digest (bit patterns, not rounded).
+inline uint64_t FingerprintDoubles(std::span<const double> values,
+                                   uint64_t h = kFnvOffsetBasis) {
+  for (const double v : values) h = FnvMixDouble(h, v);
+  return h;
+}
+
+inline uint64_t FingerprintIds(std::span<const uint32_t> values,
+                               uint64_t h = kFnvOffsetBasis) {
+  for (const uint32_t v : values) h = FnvMix(h, v);
+  return h;
+}
+
+}  // namespace predict::testing
+
+#endif  // PREDICT_TESTS_RUN_FINGERPRINT_H_

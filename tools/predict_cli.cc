@@ -15,11 +15,23 @@
 //                         [--ratio R] [--method BRJ|RJ|MHRW|FF] [--seed N]
 //                         [--scale S] [--workers N] [--threads T]
 //                         [--history FILE]
+//   predict_cli scenarios
+//   predict_cli whatif    --algorithm A (--dataset NAME | --graph FILE)
+//                         [--scenarios S1,S2,... | all] [--sla SECONDS]
+//                         [--ratio R] [--config k=v]... [--threads T]
 //   predict_cli bound     --epsilon E [--damping D]
+//
+// Engine flags (run/predict/batch): [--scenario NAME] [--workers N]
+// [--partition hash|range|edge] — --scenario picks a registry deployment,
+// the others override it.
 //
 // Graph files: edge-list text ("src dst [weight]") or PRDG binary.
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -27,6 +39,7 @@
 #include <vector>
 
 #include "algorithms/runner.h"
+#include "bsp/scenario.h"
 #include "bsp/thread_pool.h"
 #include "common/strings.h"
 #include "core/bounds.h"
@@ -88,6 +101,91 @@ std::string GetFlag(const Flags& flags, const std::string& name,
   return it == flags.values.end() ? fallback : it->second;
 }
 
+// Validated numeric flag parsing. std::atoi silently turns "--workers=abc"
+// into 0, which only surfaces as a confusing failure deep inside the
+// engine; these helpers reject malformed or out-of-range values at the
+// command line with an error naming the flag.
+
+Result<long long> ParseIntegerFlag(const Flags& flags, const std::string& name,
+                                   long long fallback, long long min_value,
+                                   long long max_value) {
+  const std::string text = GetFlag(flags, name);
+  if (text.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   text + "'");
+  }
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        "--" + name + " must be in [" + std::to_string(min_value) + ", " +
+        std::to_string(max_value) + "], got " + std::to_string(value));
+  }
+  return value;
+}
+
+/// Seeds span the full uint64 range, so they get strtoull (a signed
+/// parser would reject seeds above 2^63-1 that older releases accepted).
+Result<uint64_t> ParseUint64Flag(const Flags& flags, const std::string& name,
+                                 uint64_t fallback) {
+  const std::string text = GetFlag(flags, name);
+  if (text.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text[0] == '-' || end == text.c_str() || *end != '\0' ||
+      errno == ERANGE) {
+    return Status::InvalidArgument(
+        "--" + name + " expects a non-negative integer below 2^64, got '" +
+        text + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDoubleFlag(const Flags& flags, const std::string& name,
+                               double fallback) {
+  const std::string text = GetFlag(flags, name);
+  if (text.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  // strtod happily parses "inf"/"nan", which would sail past validation
+  // only to poison comparisons downstream (a NaN SLA disables the SLA
+  // check without a word) — reject anything non-finite.
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("--" + name +
+                                   " expects a finite number, got '" + text +
+                                   "'");
+  }
+  return value;
+}
+
+/// Prints a flag-parsing error and returns the exit code for it.
+int FlagError(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 2;
+}
+
+SamplerKind ParseSamplerKind(const std::string& name) {
+  if (name == "RJ") return SamplerKind::kRandomJump;
+  if (name == "MHRW") return SamplerKind::kMetropolisHastingsRW;
+  if (name == "FF") return SamplerKind::kForestFire;
+  return SamplerKind::kBiasedRandomJump;
+}
+
+/// The sampler flag triple (--method/--ratio/--seed) shared by
+/// sample/predict/batch/whatif.
+Status ParseSamplerFlags(const Flags& flags, SamplerOptions* options) {
+  options->kind = ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
+  PREDICT_ASSIGN_OR_RETURN(options->sampling_ratio,
+                           ParseDoubleFlag(flags, "ratio", 0.1));
+  PREDICT_ASSIGN_OR_RETURN(options->seed, ParseUint64Flag(flags, "seed", 42));
+  return Status::OK();
+}
+
 Result<AlgorithmConfig> ParseConfigPairs(const std::vector<std::string>& pairs) {
   AlgorithmConfig config;
   for (const std::string& pair : pairs) {
@@ -105,7 +203,8 @@ Result<AlgorithmConfig> ParseConfigPairs(const std::vector<std::string>& pairs) 
 Result<Graph> LoadInputGraph(const Flags& flags) {
   const std::string dataset = GetFlag(flags, "dataset");
   const std::string file = GetFlag(flags, "graph");
-  const double scale = std::atof(GetFlag(flags, "scale", "1.0").c_str());
+  PREDICT_ASSIGN_OR_RETURN(const double scale,
+                           ParseDoubleFlag(flags, "scale", 1.0));
   if (!dataset.empty() && !file.empty()) {
     return Status::InvalidArgument("pass either --dataset or --graph, not both");
   }
@@ -126,17 +225,28 @@ Result<Graph> LoadInputGraph(const Flags& flags) {
   return Status::InvalidArgument("need --dataset NAME or --graph FILE");
 }
 
-SamplerKind ParseSamplerKind(const std::string& name) {
-  if (name == "RJ") return SamplerKind::kRandomJump;
-  if (name == "MHRW") return SamplerKind::kMetropolisHastingsRW;
-  if (name == "FF") return SamplerKind::kForestFire;
-  return SamplerKind::kBiasedRandomJump;
-}
-
-bsp::EngineOptions EngineFromFlags(const Flags& flags) {
+// Engine configuration: --scenario picks a registry deployment (default
+// the paper cluster), --workers / --partition override it.
+Result<bsp::EngineOptions> EngineFromFlags(const Flags& flags) {
   bsp::EngineOptions engine = PaperClusterOptions();
-  const std::string workers = GetFlag(flags, "workers");
-  if (!workers.empty()) engine.num_workers = std::atoi(workers.c_str());
+  const std::string scenario_name = GetFlag(flags, "scenario");
+  if (!scenario_name.empty()) {
+    PREDICT_ASSIGN_OR_RETURN(const bsp::ClusterScenario scenario,
+                             bsp::FindScenario(scenario_name));
+    engine = scenario.ToEngineOptions();
+  }
+  // The substrate keeps one outbox per (sender, dest) pair — memory is
+  // quadratic in workers — so the bound must stay small enough that the
+  // engine can actually allocate it (4096 workers = 16.8M outboxes).
+  PREDICT_ASSIGN_OR_RETURN(
+      const long long workers,
+      ParseIntegerFlag(flags, "workers", engine.num_workers, 1, 4096));
+  engine.num_workers = static_cast<uint32_t>(workers);
+  const std::string partition = GetFlag(flags, "partition");
+  if (!partition.empty()) {
+    PREDICT_ASSIGN_OR_RETURN(engine.partition,
+                             bsp::ParsePartitionStrategy(partition));
+  }
   return engine;
 }
 
@@ -157,9 +267,10 @@ int CmdDatasets() {
 // Stats pool for describe/sample: --threads T fans the BFS/clustering
 // estimates out over T host threads (0 = inline; results are identical
 // either way per the stats determinism contract).
-std::unique_ptr<bsp::ThreadPool> StatsPool(const Flags& flags) {
-  const int threads = std::atoi(GetFlag(flags, "threads", "0").c_str());
-  if (threads <= 0) return nullptr;
+Result<std::unique_ptr<bsp::ThreadPool>> StatsPool(const Flags& flags) {
+  PREDICT_ASSIGN_OR_RETURN(const long long threads,
+                           ParseIntegerFlag(flags, "threads", 0, 0, 4096));
+  if (threads <= 0) return std::unique_ptr<bsp::ThreadPool>();
   return std::make_unique<bsp::ThreadPool>(static_cast<uint32_t>(threads));
 }
 
@@ -169,12 +280,13 @@ int CmdDescribe(const Flags& flags) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
-  const std::unique_ptr<bsp::ThreadPool> pool = StatsPool(flags);
+  auto pool = StatsPool(flags);
+  if (!pool.ok()) return FlagError(pool.status());
   std::printf("%s\n", DescribeGraph(*graph).c_str());
   std::printf("effective diameter (90%%): %.2f\n",
-              EffectiveDiameter(*graph, 0.9, 32, 42, pool.get()));
+              EffectiveDiameter(*graph, 0.9, 32, 42, pool->get()));
   std::printf("clustering coefficient:   %.4f\n",
-              AverageClusteringCoefficient(*graph, 1000, 42, pool.get()));
+              AverageClusteringCoefficient(*graph, 1000, 42, pool->get()));
   std::printf("weakly connected comps:   %llu\n",
               static_cast<unsigned long long>(
                   CountWeaklyConnectedComponents(*graph)));
@@ -188,9 +300,8 @@ int CmdSample(const Flags& flags) {
     return 1;
   }
   SamplerOptions options;
-  options.kind = ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
-  options.sampling_ratio = std::atof(GetFlag(flags, "ratio", "0.1").c_str());
-  options.seed = std::strtoull(GetFlag(flags, "seed", "42").c_str(), nullptr, 10);
+  const Status sampler_flags = ParseSamplerFlags(flags, &options);
+  if (!sampler_flags.ok()) return FlagError(sampler_flags);
   auto sample = SampleGraph(*graph, options);
   if (!sample.ok()) {
     std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
@@ -199,9 +310,10 @@ int CmdSample(const Flags& flags) {
   std::printf("method %s, ratio %.3f: sample %s\n",
               SamplerKindName(options.kind), sample->realized_ratio,
               sample->subgraph.ToString().c_str());
-  const std::unique_ptr<bsp::ThreadPool> pool = StatsPool(flags);
+  auto pool = StatsPool(flags);
+  if (!pool.ok()) return FlagError(pool.status());
   const SampleQualityReport quality =
-      EvaluateSampleQuality(*graph, *sample, 32, 42, pool.get());
+      EvaluateSampleQuality(*graph, *sample, 32, 42, pool->get());
   std::printf("quality: %s\n", quality.ToString().c_str());
   return 0;
 }
@@ -219,7 +331,9 @@ int CmdRun(const Flags& flags) {
     return 1;
   }
   RunOptions options;
-  options.engine = EngineFromFlags(flags);
+  auto engine = EngineFromFlags(flags);
+  if (!engine.ok()) return FlagError(engine.status());
+  options.engine = *engine;
   options.config_overrides = *config;
   auto result = RunAlgorithmByName(algorithm, *graph, options);
   if (!result.ok()) {
@@ -264,12 +378,11 @@ int CmdPredict(const Flags& flags) {
   }
 
   PredictorOptions options;
-  options.sampler.kind = ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
-  options.sampler.sampling_ratio =
-      std::atof(GetFlag(flags, "ratio", "0.1").c_str());
-  options.sampler.seed =
-      std::strtoull(GetFlag(flags, "seed", "42").c_str(), nullptr, 10);
-  options.engine = EngineFromFlags(flags);
+  const Status sampler_flags = ParseSamplerFlags(flags, &options.sampler);
+  auto engine = EngineFromFlags(flags);
+  if (!sampler_flags.ok()) return FlagError(sampler_flags);
+  if (!engine.ok()) return FlagError(engine.status());
+  options.engine = *engine;
 
   std::unique_ptr<HistoryStore> history;
   const std::string history_file = GetFlag(flags, "history");
@@ -294,7 +407,8 @@ int CmdPredict(const Flags& flags) {
     return 1;
   }
   std::printf("PREDIcT %s on %s (%s sample, ratio %.3f)\n", algorithm.c_str(),
-              graph->ToString().c_str(), SamplerKindName(options.sampler.kind),
+              graph->ToString().c_str(),
+              SamplerKindName(options.sampler.kind),
               report->realized_sampling_ratio);
   std::printf("  transform:            %s\n",
               report->transform_description.c_str());
@@ -355,13 +469,14 @@ int CmdBatch(const Flags& flags) {
                  "batch needs --algorithms A,B,... and --datasets N1,N2,...\n");
     return 2;
   }
-  const double scale = std::atof(GetFlag(flags, "scale", "1.0").c_str());
+  auto scale = ParseDoubleFlag(flags, "scale", 1.0);
+  if (!scale.ok()) return FlagError(scale.status());
 
   // Graphs must outlive the requests (the service borrows them).
   std::vector<Graph> graphs;
   graphs.reserve(dataset_names.size());
   for (const std::string& name : dataset_names) {
-    auto graph = MakeDataset(name, scale);
+    auto graph = MakeDataset(name, *scale);
     if (!graph.ok()) {
       std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
       return 1;
@@ -370,17 +485,18 @@ int CmdBatch(const Flags& flags) {
   }
 
   PredictionServiceOptions options;
-  options.predictor.sampler.kind =
-      ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
-  options.predictor.sampler.sampling_ratio =
-      std::atof(GetFlag(flags, "ratio", "0.1").c_str());
-  options.predictor.sampler.seed =
-      std::strtoull(GetFlag(flags, "seed", "42").c_str(), nullptr, 10);
-  options.predictor.engine = EngineFromFlags(flags);
+  const Status sampler_flags =
+      ParseSamplerFlags(flags, &options.predictor.sampler);
+  auto engine = EngineFromFlags(flags);
+  auto threads = ParseIntegerFlag(flags, "threads", -1, -1, 4096);
+  if (!sampler_flags.ok()) return FlagError(sampler_flags);
+  if (!engine.ok()) return FlagError(engine.status());
+  if (!threads.ok()) return FlagError(threads.status());
+  options.predictor.engine = *engine;
   // Serving configuration: parallelism comes from the batch fan-out, not
   // from per-run simulation threads.
   options.predictor.engine.num_threads = 0;
-  options.num_threads = std::atoi(GetFlag(flags, "threads", "-1").c_str());
+  options.num_threads = static_cast<int>(*threads);
 
   std::unique_ptr<HistoryStore> history;
   const std::string history_file = GetFlag(flags, "history");
@@ -438,15 +554,132 @@ int CmdBatch(const Flags& flags) {
 }
 
 int CmdBound(const Flags& flags) {
-  const double epsilon = std::atof(GetFlag(flags, "epsilon", "0.001").c_str());
-  const double damping = std::atof(GetFlag(flags, "damping", "0.85").c_str());
-  auto bound = PageRankIterationUpperBound(epsilon, damping);
+  auto epsilon = ParseDoubleFlag(flags, "epsilon", 0.001);
+  auto damping = ParseDoubleFlag(flags, "damping", 0.85);
+  if (!epsilon.ok()) return FlagError(epsilon.status());
+  if (!damping.ok()) return FlagError(damping.status());
+  auto bound = PageRankIterationUpperBound(*epsilon, *damping);
   if (!bound.ok()) {
     std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
     return 1;
   }
   std::printf("Langville-Meyer PageRank bound (eps=%g, d=%g): %.1f iterations\n",
-              epsilon, damping, *bound);
+              *epsilon, *damping, *bound);
+  return 0;
+}
+
+// ------------------------------------------------------- cluster what-if
+
+int CmdScenarios() {
+  std::printf("%-18s %8s %6s %10s %-10s %s\n", "name", "workers", "steps",
+              "memory", "partition", "description");
+  for (const bsp::ClusterScenario& s : bsp::BuiltinScenarios()) {
+    std::printf("%-18s %8u %6d %10s %-10s %s\n", s.name.c_str(), s.num_workers,
+                s.max_supersteps, FormatBytes(s.memory_budget_bytes).c_str(),
+                PartitionStrategyName(s.partition), s.description.c_str());
+  }
+  return 0;
+}
+
+// Predicts one (algorithm, dataset) across cluster scenarios via the
+// caching service (the sample is drawn once and shared) and recommends
+// the cheapest deployment, optionally subject to an SLA on the
+// predicted superstep phase — the phase PREDIcT predicts (§2.2) and the
+// one that differs across deployments. "Cheapest" is worker-seconds:
+// predicted superstep seconds x workers, the cluster resources the
+// job's iterative phase would occupy.
+int CmdWhatIf(const Flags& flags) {
+  auto graph = LoadInputGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string algorithm = GetFlag(flags, "algorithm");
+  auto config = ParseConfigPairs(flags.config_pairs);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<bsp::ClusterScenario> scenarios;
+  const std::string names = GetFlag(flags, "scenarios", "all");
+  if (names == "all") {
+    scenarios = bsp::BuiltinScenarios();
+  } else {
+    for (const std::string& name : SplitString(names, ',')) {
+      auto scenario = bsp::FindScenario(name);
+      if (!scenario.ok()) {
+        std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+        return 2;
+      }
+      scenarios.push_back(std::move(scenario).MoveValue());
+    }
+  }
+
+  PredictionServiceOptions options;
+  const Status sampler_flags =
+      ParseSamplerFlags(flags, &options.predictor.sampler);
+  auto threads = ParseIntegerFlag(flags, "threads", -1, -1, 4096);
+  auto sla = ParseDoubleFlag(flags, "sla", 0.0);
+  if (!sampler_flags.ok()) return FlagError(sampler_flags);
+  if (!threads.ok()) return FlagError(threads.status());
+  if (!sla.ok()) return FlagError(sla.status());
+  options.predictor.engine.num_threads = 0;
+  options.num_threads = static_cast<int>(*threads);
+
+  PredictionService service(options);
+  PredictionRequest request;
+  request.algorithm = algorithm;
+  request.graph = &graph.value();
+  request.dataset = GetFlag(flags, "dataset", "input");
+  request.overrides = *config;
+
+  const auto results = service.PredictScenarios(request, scenarios);
+
+  std::printf("%s on %s across %zu scenarios (ratio %.3f)\n\n",
+              algorithm.c_str(), graph->ToString().c_str(), scenarios.size(),
+              options.predictor.sampler.sampling_ratio);
+  std::printf("%-18s %8s %6s %14s %14s %s\n", "scenario", "workers", "iters",
+              "predicted", "worker-sec", *sla > 0 ? "SLA" : "");
+  int best = -1;
+  double best_cost = 0.0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const bsp::ClusterScenario& scenario = scenarios[i];
+    if (!results[i].ok()) {
+      std::printf("%-18s %8u  %s\n", scenario.name.c_str(),
+                  scenario.num_workers,
+                  results[i].status().ToString().c_str());
+      continue;
+    }
+    const PredictionReport& report = *results[i];
+    // The SLA check targets the superstep phase — the phase PREDIcT
+    // predicts (§2.2) and the one that differs across deployments.
+    const double seconds = report.predicted_superstep_seconds;
+    const double worker_seconds = seconds * scenario.num_workers;
+    const bool meets_sla = *sla <= 0.0 || seconds <= *sla;
+    std::printf("%-18s %8u %6d %14s %14.0f %s\n", scenario.name.c_str(),
+                scenario.num_workers, report.predicted_iterations,
+                FormatSeconds(seconds).c_str(), worker_seconds,
+                *sla > 0 ? (meets_sla ? "ok" : "MISS") : "");
+    if (meets_sla && (best < 0 || worker_seconds < best_cost)) {
+      best = static_cast<int>(i);
+      best_cost = worker_seconds;
+    }
+  }
+  const ServiceCacheStats stats = service.cache_stats();
+  std::printf("\nsample cache %llu hits / %llu misses (one sample shared "
+              "across scenarios)\n",
+              static_cast<unsigned long long>(stats.sample_hits),
+              static_cast<unsigned long long>(stats.sample_misses));
+  if (best >= 0) {
+    std::printf("cheapest%s: %s (%.0f worker-seconds)\n",
+                *sla > 0 ? " meeting SLA" : "", scenarios[best].name.c_str(),
+                best_cost);
+  } else {
+    std::printf("no scenario%s produced a prediction\n",
+                *sla > 0 ? " meets the SLA or" : "");
+    return 1;
+  }
   return 0;
 }
 
@@ -463,7 +696,12 @@ int Usage() {
       "             [--config k=v]... [--history F] [--verify] [--save-history F]\n"
       "  batch      --algorithms A,B,... --datasets N1,N2,... [--ratio R]\n"
       "             [--threads T] [--workers N] [--scale S] [--history F]\n"
+      "  scenarios  list built-in cluster scenarios\n"
+      "  whatif     --algorithm A (--dataset N | --graph F)\n"
+      "             [--scenarios S1,S2,...|all] [--sla SECONDS] [--ratio R]\n"
       "  bound      --epsilon E [--damping D]\n"
+      "engine flags (run/predict/batch): [--scenario NAME] [--workers N]\n"
+      "             [--partition hash|range|edge]\n"
       "algorithms:");
   for (const auto& name : RegisteredAlgorithmNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -488,6 +726,8 @@ int main(int argc, char** argv) {
   if (command == "run") return CmdRun(flags);
   if (command == "predict") return CmdPredict(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "scenarios") return CmdScenarios();
+  if (command == "whatif") return CmdWhatIf(flags);
   if (command == "bound") return CmdBound(flags);
   return Usage();
 }
