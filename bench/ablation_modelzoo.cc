@@ -1,0 +1,228 @@
+// Model-zoo ablation gate (ctest: ablation_modelzoo, labels bench-smoke
+// and models).
+//
+// Guards the tentpole bargain of the model-zoo refactor with three
+// checks over a real multi-deployment history (PageRank actual runs at
+// six worker counts on one generated graph):
+//
+//   1. Tier progression: feeding the selector history spanning
+//      1..6 unique worker configurations must walk the density ladder
+//      paper -> mean -> ernest -> interpolation exactly as documented
+//      (core/models/model_selector.h).
+//   2. Leave-one-configuration-out CV: predicting each held-out worker
+//      count's runtime from the other five configurations. The zoo's
+//      scale-out member must beat the ablated baseline (zoo disabled,
+//      the paper OLS alone) on this cross-deployment axis — the
+//      Ellis-style claim the refactor imports.
+//   3. Bootstrap determinism: identical inputs and seed give
+//      bit-identical prediction intervals; a different seed does not.
+//
+// Results mirror to BENCH_ablation_modelzoo.json (bench_json.h).
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "algorithms/runner.h"
+#include "bench_json.h"
+#include "core/distribution.h"
+#include "core/features.h"
+#include "core/models/model_selector.h"
+#include "datasets/datasets.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace predict;
+
+const std::vector<uint32_t> kWorkerCounts = {8, 12, 16, 20, 24, 29};
+
+// One actual run per worker count; the profile carries num_workers, so
+// its training rows land in the history with the right scale_out.
+Result<std::vector<RunProfile>> RunHistory(const Graph& graph) {
+  std::vector<RunProfile> profiles;
+  for (const uint32_t workers : kWorkerCounts) {
+    RunOptions options;
+    options.engine = PaperClusterOptions();
+    options.engine.num_workers = workers;
+    options.config_overrides = {
+        {"tau", 0.001 / static_cast<double>(graph.num_vertices())}};
+    PREDICT_ASSIGN_OR_RETURN(
+        AlgorithmRunResult run,
+        RunAlgorithmByName("pagerank", graph, options));
+    char label[32];
+    std::snprintf(label, sizeof(label), "w%u", workers);
+    profiles.push_back(ProfileFromRunStats("pagerank", label,
+                                           graph.num_vertices(),
+                                           graph.num_edges(), run.stats));
+  }
+  return profiles;
+}
+
+std::vector<TrainingRow> RowsOf(const std::vector<RunProfile>& profiles,
+                                uint32_t skip_workers) {
+  std::vector<TrainingRow> rows;
+  for (const RunProfile& profile : profiles) {
+    if (profile.num_workers == skip_workers) continue;
+    const std::vector<TrainingRow> profile_rows =
+        TrainingRowsFromProfile(profile);
+    rows.insert(rows.end(), profile_rows.begin(), profile_rows.end());
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("model-zoo ablation gate: PageRank across %zu worker counts\n\n",
+              kWorkerCounts.size());
+  auto graph = GeneratePreferentialAttachment({20000, 8, 0.3, 123});
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  auto profiles = RunHistory(*graph);
+  if (!profiles.ok()) {
+    std::fprintf(stderr, "history runs failed: %s\n",
+                 profiles.status().ToString().c_str());
+    return 1;
+  }
+
+  benchutil::BenchJson json("ablation_modelzoo");
+  json.Add("worker_counts", kWorkerCounts.size());
+  bool ok = true;
+
+  // ---- 1. Tier progression along the density ladder.
+  const models::ModelZooOptions zoo;
+  const std::vector<models::ModelTier> expected = {
+      models::ModelTier::kPaper,         models::ModelTier::kMean,
+      models::ModelTier::kErnest,        models::ModelTier::kErnest,
+      models::ModelTier::kErnest,        models::ModelTier::kInterpolation};
+  std::printf("configs  selected tier\n");
+  for (size_t k = 1; k <= kWorkerCounts.size(); ++k) {
+    std::vector<TrainingRow> rows;
+    for (size_t i = 0; i < k; ++i) {
+      const std::vector<TrainingRow> r =
+          TrainingRowsFromProfile((*profiles)[i]);
+      rows.insert(rows.end(), r.begin(), r.end());
+    }
+    auto fit = models::FitModelZoo({}, rows, CostModelOptions{}, zoo);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "FAIL: zoo fit at %zu configs: %s\n", k,
+                   fit.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("%7zu  %-13s  %s\n", k,
+                models::ModelTierName(fit->selection.tier),
+                fit->selection.reason.c_str());
+    if (fit->selection.tier != expected[k - 1]) {
+      std::fprintf(stderr,
+                   "FAIL: %zu configs selected %s, expected %s\n", k,
+                   models::ModelTierName(fit->selection.tier),
+                   models::ModelTierName(expected[k - 1]));
+      ok = false;
+    }
+  }
+
+  // ---- 2. Leave-one-configuration-out CV: zoo vs paper-only ablation.
+  models::ModelZooOptions no_zoo;
+  no_zoo.enable_zoo = false;
+  double zoo_abs_error = 0.0;
+  double paper_abs_error = 0.0;
+  std::printf("\nheld-out     actual      zoo (err)        paper (err)\n");
+  for (const RunProfile& held_out : *profiles) {
+    const std::vector<TrainingRow> train =
+        RowsOf(*profiles, held_out.num_workers);
+    auto zoo_fit = models::FitModelZoo({}, train, CostModelOptions{}, zoo);
+    auto paper_fit =
+        models::FitModelZoo({}, train, CostModelOptions{}, no_zoo);
+    if (!zoo_fit.ok() || !paper_fit.ok()) {
+      std::fprintf(stderr, "FAIL: CV fold w=%u did not fit\n",
+                   held_out.num_workers);
+      ok = false;
+      continue;
+    }
+    const double actual = held_out.total_superstep_seconds();
+    double zoo_predicted = 0.0;
+    double paper_predicted = 0.0;
+    for (const IterationProfile& it : held_out.iterations) {
+      zoo_predicted += zoo_fit->model->PredictIterationSeconds(
+          it.critical_features, held_out.num_workers);
+      paper_predicted += paper_fit->model->PredictIterationSeconds(
+          it.critical_features, held_out.num_workers);
+    }
+    const double zoo_error = (zoo_predicted - actual) / actual;
+    const double paper_error = (paper_predicted - actual) / actual;
+    zoo_abs_error += std::fabs(zoo_error);
+    paper_abs_error += std::fabs(paper_error);
+    std::printf("w=%-8u %8.3fs %8.3fs (%+5.1f%%) %8.3fs (%+5.1f%%)\n",
+                held_out.num_workers, actual, zoo_predicted,
+                100.0 * zoo_error, paper_predicted, 100.0 * paper_error);
+  }
+  zoo_abs_error /= static_cast<double>(profiles->size());
+  paper_abs_error /= static_cast<double>(profiles->size());
+  std::printf("mean |error|: zoo %.1f%%, paper-only %.1f%%\n",
+              100.0 * zoo_abs_error, 100.0 * paper_abs_error);
+  json.Add("zoo_cv_mean_abs_error", zoo_abs_error);
+  json.Add("paper_cv_mean_abs_error", paper_abs_error);
+  if (!std::isfinite(zoo_abs_error) || zoo_abs_error > 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: zoo CV error %.1f%% exceeds the 50%% sanity gate\n",
+                 100.0 * zoo_abs_error);
+    ok = false;
+  }
+  // The refactor's bargain: on the cross-deployment axis the selected
+  // scale-out member must not lose to the ablated paper-only baseline
+  // (small slack absorbs folds where both are nearly exact).
+  if (zoo_abs_error > paper_abs_error + 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: zoo CV error %.1f%% worse than paper-only %.1f%%\n",
+                 100.0 * zoo_abs_error, 100.0 * paper_abs_error);
+    ok = false;
+  }
+
+  // ---- 3. Bootstrap determinism.
+  auto full_fit = models::FitModelZoo({}, RowsOf(*profiles, 0),
+                                      CostModelOptions{}, zoo);
+  if (!full_fit.ok()) {
+    std::fprintf(stderr, "FAIL: full-history fit: %s\n",
+                 full_fit.status().ToString().c_str());
+    ok = false;
+  } else {
+    std::vector<double> per_iteration;
+    for (const IterationProfile& it : profiles->front().iterations) {
+      per_iteration.push_back(full_fit->model->PredictIterationSeconds(
+          it.critical_features, profiles->front().num_workers));
+    }
+    BootstrapOptions boot;
+    const PredictionDistribution a = BootstrapDistribution(
+        per_iteration, full_fit->residuals, 0.1, boot);
+    const PredictionDistribution b = BootstrapDistribution(
+        per_iteration, full_fit->residuals, 0.1, boot);
+    BootstrapOptions other_seed = boot;
+    other_seed.seed += 1;
+    const PredictionDistribution c = BootstrapDistribution(
+        per_iteration, full_fit->residuals, 0.1, other_seed);
+    const bool deterministic = a.samples == b.samples;
+    const bool seed_sensitive = a.samples != c.samples;
+    std::printf("\nbootstrap: point %.3fs, p50 %.3fs, p95 %.3fs; "
+                "deterministic %s, seed-sensitive %s\n",
+                a.point_seconds, a.p50_seconds, a.p95_seconds,
+                deterministic ? "yes" : "NO", seed_sensitive ? "yes" : "NO");
+    json.Add("bootstrap_p50_seconds", a.p50_seconds);
+    json.Add("bootstrap_p95_seconds", a.p95_seconds);
+    json.Add("bootstrap_deterministic", deterministic);
+    if (!deterministic || !seed_sensitive) {
+      std::fprintf(stderr, "FAIL: bootstrap determinism contract broken\n");
+      ok = false;
+    }
+  }
+
+  json.Add("pass", ok);
+  json.Write();
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

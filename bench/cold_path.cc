@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_json.h"
 #include "bsp/thread_pool.h"
 #include "common/rng.h"
 #include "graph/generators.h"
@@ -206,9 +207,13 @@ int main() {
     if (a.total_seconds() < after.total_seconds()) after = a;
   }
 
-  if (!Identical(before, after)) {
+  benchutil::BenchJson json("cold_path_gate");
+  bool ok = true;
+  const bool identical = Identical(before, after);
+  json.Add("bit_identical", identical);
+  if (!identical) {
     std::fprintf(stderr, "FAIL: overhauled cold path is not bit-identical\n");
-    return 1;
+    ok = false;
   }
 
   std::printf("\n%-12s %12s %12s %9s\n", "stage", "pre-PR (s)", "now (s)",
@@ -229,13 +234,23 @@ int main() {
 
   const double speedup = before.total_seconds() / after.total_seconds();
   constexpr double kRequiredSpeedup = 3.0;
+  json.Add("baseline_seconds", before.total_seconds());
+  json.Add("overhauled_seconds", after.total_seconds());
+  json.Add("sample_seconds", after.sample_seconds);
+  json.Add("extract_seconds", after.extract_seconds);
+  json.Add("stats_seconds", after.stats_seconds);
+  json.Add("speedup", speedup);
+  json.Add("required_speedup", kRequiredSpeedup);
   if (speedup < kRequiredSpeedup) {
     std::fprintf(stderr,
                  "FAIL: end-to-end speedup %.2fx below the %.1fx gate\n",
                  speedup, kRequiredSpeedup);
-    return 1;
+    ok = false;
+  } else {
+    std::printf("PASS: end-to-end speedup %.2fx (gate: >= %.1fx)\n", speedup,
+                kRequiredSpeedup);
   }
-  std::printf("PASS: end-to-end speedup %.2fx (gate: >= %.1fx)\n", speedup,
-              kRequiredSpeedup);
-  return 0;
+  json.Add("pass", ok);
+  json.Write();
+  return ok ? 0 : 1;
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "algorithms/pagerank.h"
+#include "bench_json.h"
 #include "bsp/engine.h"
 #include "graph/generators.h"
 
@@ -310,5 +311,14 @@ int main() {
     ok = false;
   }
   if (ok) std::printf("PASS\n");
+  benchutil::BenchJson json("partition_gate");
+  json.Add("kernel_ms", kernel * 1e3);
+  json.Add("hash_ms", hash * 1e3);
+  json.Add("range_ms", range * 1e3);
+  json.Add("edge_ms", edge * 1e3);
+  json.Add("hash_over_kernel", ratio);
+  json.Add("max_hash_over_kernel", kMaxEngineOverKernel);
+  json.Add("pass", ok);
+  json.Write();
   return ok ? 0 : 1;
 }

@@ -56,6 +56,10 @@ RunProfile ProfileFromRunStats(const std::string& algorithm,
   profile.dataset = dataset;
   profile.num_vertices = num_vertices;
   profile.num_edges = num_edges;
+  if (!stats.supersteps.empty()) {
+    profile.num_workers =
+        static_cast<uint32_t>(stats.supersteps.front().per_worker.size());
+  }
   profile.iterations.reserve(stats.supersteps.size());
   const bsp::WorkerId critical = stats.static_critical_worker;
   for (const bsp::SuperstepStats& step : stats.supersteps) {
@@ -73,7 +77,8 @@ std::vector<TrainingRow> TrainingRowsFromProfile(const RunProfile& profile) {
   std::vector<TrainingRow> rows;
   rows.reserve(profile.iterations.size());
   for (const IterationProfile& it : profile.iterations) {
-    rows.push_back({it.critical_features, it.runtime_seconds});
+    rows.push_back({it.critical_features, it.runtime_seconds,
+                    static_cast<double>(profile.num_workers)});
   }
   return rows;
 }

@@ -55,6 +55,9 @@ struct RunProfile {
   std::string dataset;
   uint64_t num_vertices = 0;
   uint64_t num_edges = 0;
+  /// Worker count of the cluster the run executed on (0 = unknown, for
+  /// profiles recorded before the configuration was tracked).
+  uint32_t num_workers = 0;
   std::vector<IterationProfile> iterations;
 
   int num_iterations() const { return static_cast<int>(iterations.size()); }
@@ -69,9 +72,13 @@ RunProfile ProfileFromRunStats(const std::string& algorithm,
                                const bsp::RunStats& stats);
 
 /// One (features -> runtime) training observation for the cost model.
+/// `scale_out` carries the worker count of the run the row came from so
+/// the scale-out zoo members (models/scaleout_models.h) can train on it;
+/// 0 means unknown and the feature-driven paper model ignores it.
 struct TrainingRow {
   FeatureVector features{};
   double runtime_seconds = 0.0;
+  double scale_out = 0.0;
 };
 
 /// Flattens a profile into training rows (one per iteration).

@@ -70,7 +70,8 @@ std::vector<TrainingRow> HistoryStore::TrainingRowsExcluding(
       continue;
     }
     for (const IterationProfile& it : profile.iterations) {
-      rows.push_back({it.critical_features, it.runtime_seconds});
+      rows.push_back({it.critical_features, it.runtime_seconds,
+                      static_cast<double>(profile.num_workers)});
     }
   }
   return rows;
@@ -82,7 +83,7 @@ Status HistoryStore::SaveToFile(const std::string& path) const {
     return Status::IOError("cannot open '" + path + "' for writing: " +
                            std::strerror(errno));
   }
-  out << "algorithm,dataset,num_vertices,num_edges,iteration";
+  out << "algorithm,dataset,num_vertices,num_edges,num_workers,iteration";
   for (int i = 0; i < kNumFeatures; ++i) {
     out << ',' << FeatureName(static_cast<Feature>(i));
   }
@@ -93,7 +94,7 @@ Status HistoryStore::SaveToFile(const std::string& path) const {
     for (const IterationProfile& it : profile.iterations) {
       out << profile.algorithm << ',' << profile.dataset << ','
           << profile.num_vertices << ',' << profile.num_edges << ','
-          << it.iteration;
+          << profile.num_workers << ',' << it.iteration;
       for (int i = 0; i < kNumFeatures; ++i) {
         out << ',' << it.critical_features[i];
       }
@@ -123,10 +124,17 @@ Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
     ++line_no;
     if (TrimWhitespace(line).empty()) continue;
     const std::vector<std::string> fields = SplitString(line, ',');
-    if (fields.size() != static_cast<size_t>(5 + kNumFeatures + 1)) {
+    // Current format has a num_workers column after num_edges; files
+    // written before it existed lack the column and load as
+    // num_workers = 0 (unknown configuration).
+    const size_t with_workers = static_cast<size_t>(6 + kNumFeatures + 1);
+    const size_t legacy = static_cast<size_t>(5 + kNumFeatures + 1);
+    if (fields.size() != with_workers && fields.size() != legacy) {
       return Status::IOError("malformed history row at line " +
                              std::to_string(line_no));
     }
+    const bool has_workers = fields.size() == with_workers;
+    const size_t iter_at = has_workers ? 5 : 4;
     const std::string& algorithm = fields[0];
     const std::string& dataset = fields[1];
     if (algorithm != current.algorithm || dataset != current.dataset) {
@@ -136,14 +144,19 @@ Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
       current.dataset = dataset;
       current.num_vertices = std::strtoull(fields[2].c_str(), nullptr, 10);
       current.num_edges = std::strtoull(fields[3].c_str(), nullptr, 10);
+      if (has_workers) {
+        current.num_workers = static_cast<uint32_t>(
+            std::strtoull(fields[4].c_str(), nullptr, 10));
+      }
     }
     IterationProfile iteration;
-    iteration.iteration = std::atoi(fields[4].c_str());
+    iteration.iteration = std::atoi(fields[iter_at].c_str());
     for (int i = 0; i < kNumFeatures; ++i) {
-      iteration.critical_features[i] = std::strtod(fields[5 + i].c_str(), nullptr);
+      iteration.critical_features[i] =
+          std::strtod(fields[iter_at + 1 + i].c_str(), nullptr);
     }
     iteration.runtime_seconds =
-        std::strtod(fields[5 + kNumFeatures].c_str(), nullptr);
+        std::strtod(fields[iter_at + 1 + kNumFeatures].c_str(), nullptr);
     current.iterations.push_back(iteration);
   }
   if (!current.iterations.empty()) store.Add(current);

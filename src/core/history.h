@@ -49,7 +49,8 @@ class HistoryStore {
   std::vector<RunProfile> profiles() const;
 
   /// CSV persistence. Columns: algorithm,dataset,num_vertices,num_edges,
-  /// iteration,<7 features>,runtime_seconds.
+  /// num_workers,iteration,<7 features>,runtime_seconds. Files written
+  /// before the num_workers column existed still load (num_workers = 0).
   Status SaveToFile(const std::string& path) const;
   static Result<HistoryStore> LoadFromFile(const std::string& path);
 

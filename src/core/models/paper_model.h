@@ -1,0 +1,40 @@
+// The paper's cost model as a zoo member.
+//
+// PaperModel wraps a trained core/cost_model.h CostModel behind the
+// RuntimeModel interface without touching its math: prediction goes
+// through CostModel::PredictIterationSeconds verbatim, so a pipeline that
+// selects the paper tier is bit-identical to the pre-zoo predictor.
+
+#ifndef PREDICT_CORE_MODELS_PAPER_MODEL_H_
+#define PREDICT_CORE_MODELS_PAPER_MODEL_H_
+
+#include <utility>
+
+#include "core/cost_model.h"
+#include "core/models/runtime_model.h"
+
+namespace predict::models {
+
+/// \brief Forward-selected OLS over Table-1 features (§3.4), wrapped.
+class PaperModel final : public RuntimeModel {
+ public:
+  explicit PaperModel(CostModel model) : model_(std::move(model)) {}
+
+  ModelTier tier() const override { return ModelTier::kPaper; }
+
+  double PredictIterationSeconds(const FeatureVector& features,
+                                 double /*scale_out*/) const override {
+    return model_.PredictIterationSeconds(features);
+  }
+
+  std::string ToString() const override { return model_.ToString(); }
+
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  CostModel model_;
+};
+
+}  // namespace predict::models
+
+#endif  // PREDICT_CORE_MODELS_PAPER_MODEL_H_

@@ -1,0 +1,65 @@
+// The RuntimeModel interface: one member of the model zoo.
+//
+// PREDIcT fits a single fixed-form cost model (forward-selected OLS over
+// key-input-cardinality features, §3.4). Related work (Ellis' Ernest/Bell
+// split, SNIPPETS.md #2) shows model *selection* beats any single model:
+// which functional form is trustworthy depends on how much history is
+// available and how it is distributed across cluster configurations. The
+// zoo makes that explicit — every member predicts one iteration's
+// runtime, but from different signals:
+//
+//   PaperModel          features of the critical-path worker (the paper's
+//                       OLS; the only member that uses the FeatureVector)
+//   MeanModel           constant: mean observed runtime
+//   ErnestModel         NNLS over {1, 1/w, log w, w} of the worker count
+//   InterpolationModel  piecewise-linear over per-worker-count means,
+//                       delegating to Ernest outside the observed range
+//
+// ModelSelector (model_selector.h) picks the member from training-data
+// density and records why.
+
+#ifndef PREDICT_CORE_MODELS_RUNTIME_MODEL_H_
+#define PREDICT_CORE_MODELS_RUNTIME_MODEL_H_
+
+#include <string>
+
+#include "core/features.h"
+
+namespace predict::models {
+
+/// Which zoo member a fit selected.
+enum class ModelTier : int {
+  kPaper = 0,          ///< forward-selected OLS over Table-1 features
+  kMean = 1,           ///< mean observed runtime (sparse history)
+  kErnest = 2,         ///< NNLS scale-out model (few configurations)
+  kInterpolation = 3,  ///< per-configuration interpolation (dense history)
+};
+
+const char* ModelTierName(ModelTier tier);
+
+/// \brief One member of the model zoo: predicts a single iteration's
+/// runtime for the actual run.
+///
+/// Implementations are immutable after construction and safe to share
+/// across threads (ModelArtifact holds them by shared_ptr<const>).
+class RuntimeModel {
+ public:
+  virtual ~RuntimeModel() = default;
+
+  /// The tier this model implements.
+  virtual ModelTier tier() const = 0;
+
+  /// Predicted runtime of one iteration, >= 0. `features` are the
+  /// iteration's extrapolated critical-worker features; `scale_out` is
+  /// the worker count the prediction targets. Feature-driven members
+  /// ignore scale_out; scale-out-driven members ignore features.
+  virtual double PredictIterationSeconds(const FeatureVector& features,
+                                         double scale_out) const = 0;
+
+  /// Human-readable form for reports, e.g. "ernest: 0.31 + 12.4/w".
+  virtual std::string ToString() const = 0;
+};
+
+}  // namespace predict::models
+
+#endif  // PREDICT_CORE_MODELS_RUNTIME_MODEL_H_

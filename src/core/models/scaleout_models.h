@@ -1,0 +1,106 @@
+// Scale-out-driven zoo members: mean, Ernest (NNLS), interpolation.
+//
+// These model per-iteration runtime as a function of the cluster's
+// worker count alone, trained on historical *actual* runs (never on
+// sample runs, whose iterations are an order of magnitude cheaper than
+// the full-scale iterations they predict). The progression mirrors
+// Ellis' compute_predictions (SNIPPETS.md #2): mean when history is too
+// sparse to fit anything, Ernest's fixed basis while extrapolation must
+// be trusted, per-configuration interpolation once history is dense —
+// with Ernest handling out-of-range targets even in the dense tier.
+
+#ifndef PREDICT_CORE_MODELS_SCALEOUT_MODELS_H_
+#define PREDICT_CORE_MODELS_SCALEOUT_MODELS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/features.h"
+#include "core/models/runtime_model.h"
+
+namespace predict::models {
+
+/// One (worker count, observed per-iteration runtime) training point.
+struct ScaleOutObservation {
+  double scale_out = 0.0;
+  double runtime_seconds = 0.0;
+};
+
+/// \brief Sparse-history fallback: the mean observed runtime.
+class MeanModel final : public RuntimeModel {
+ public:
+  /// Requires at least one observation.
+  static Result<MeanModel> Fit(const std::vector<ScaleOutObservation>& points);
+
+  ModelTier tier() const override { return ModelTier::kMean; }
+  double PredictIterationSeconds(const FeatureVector& features,
+                                 double scale_out) const override;
+  std::string ToString() const override;
+
+  double mean_seconds() const { return mean_seconds_; }
+
+ private:
+  explicit MeanModel(double mean_seconds) : mean_seconds_(mean_seconds) {}
+  double mean_seconds_ = 0.0;
+};
+
+/// \brief Ernest-style scale-out model: runtime(w) = c0*1 + c1/w +
+/// c2*log(w) + c3*w with c >= 0 (NNLS; core/regression FitNnls).
+///
+/// The basis captures the canonical cluster cost shape: fixed overhead,
+/// perfectly parallel work (1/w), tree-aggregation (log w), and per-worker
+/// coordination (w). Non-negativity is what keeps extrapolation beyond
+/// the observed worker counts monotone-sane.
+class ErnestModel final : public RuntimeModel {
+ public:
+  /// Requires >= 2 observations at >= 2 distinct positive worker counts.
+  static Result<ErnestModel> Fit(const std::vector<ScaleOutObservation>& points);
+
+  ModelTier tier() const override { return ModelTier::kErnest; }
+  double PredictIterationSeconds(const FeatureVector& features,
+                                 double scale_out) const override;
+  std::string ToString() const override;
+
+  /// The NNLS coefficients over {1, 1/w, log w, w}.
+  const std::array<double, 4>& coefficients() const { return coefficients_; }
+
+  /// The Ernest basis row for worker count w.
+  static std::array<double, 4> Basis(double scale_out);
+
+ private:
+  explicit ErnestModel(std::array<double, 4> coefficients)
+      : coefficients_(coefficients) {}
+  std::array<double, 4> coefficients_{};
+};
+
+/// \brief Dense-history member: piecewise-linear interpolation over the
+/// mean runtime at each observed worker count; targets outside the
+/// observed range fall through to an embedded ErnestModel (the Ellis
+/// interpolation/extrapolation split).
+class InterpolationModel final : public RuntimeModel {
+ public:
+  /// Requires observations at >= 2 distinct positive worker counts (the
+  /// selector only picks this tier far past that density).
+  static Result<InterpolationModel> Fit(
+      const std::vector<ScaleOutObservation>& points);
+
+  ModelTier tier() const override { return ModelTier::kInterpolation; }
+  double PredictIterationSeconds(const FeatureVector& features,
+                                 double scale_out) const override;
+  std::string ToString() const override;
+
+  /// The interpolation knots: (worker count, mean runtime), ascending.
+  const std::vector<ScaleOutObservation>& knots() const { return knots_; }
+
+ private:
+  InterpolationModel(std::vector<ScaleOutObservation> knots, ErnestModel ernest)
+      : knots_(std::move(knots)), ernest_(std::move(ernest)) {}
+  std::vector<ScaleOutObservation> knots_;
+  ErnestModel ernest_;
+};
+
+}  // namespace predict::models
+
+#endif  // PREDICT_CORE_MODELS_SCALEOUT_MODELS_H_

@@ -34,18 +34,46 @@ Result<PredictionReport> AssemblePredictionReport(
   report.extrapolated_profile = std::move(extrapolation.extrapolated_profile);
 
   // 5. Cost model: train on the sample run plus history of actual runs on
-  // other datasets (§3.4 "Training Methodology").
+  // other datasets (§3.4 "Training Methodology"); the zoo selector picks
+  // which member actually predicts (density rule over history).
   PREDICT_ASSIGN_OR_RETURN(pipeline::ModelArtifact model,
                            stages.fit.Run(profile, algorithm, dataset_name));
   report.cost_model = std::move(model.model);
+  report.model_selection = model.selection;
 
-  // 6. Predict each iteration of the actual run.
-  report.per_iteration_seconds =
-      report.cost_model.PredictProfile(report.extrapolated_profile);
+  // 6. Predict each iteration of the actual run. Scale-out members
+  // predict from the deployment's worker count; the paper member from
+  // the extrapolated critical-worker features (identical numbers to the
+  // pre-zoo CostModel::PredictProfile path).
+  const double scale_out =
+      static_cast<double>(report.extrapolated_profile.num_workers);
+  if (model.runtime_model != nullptr) {
+    report.runtime_model_description = model.runtime_model->ToString();
+    report.per_iteration_seconds.clear();
+    report.per_iteration_seconds.reserve(
+        report.extrapolated_profile.iterations.size());
+    for (const IterationProfile& it : report.extrapolated_profile.iterations) {
+      report.per_iteration_seconds.push_back(
+          model.runtime_model->PredictIterationSeconds(it.critical_features,
+                                                       scale_out));
+    }
+  } else {
+    // Hand-built ModelArtifact without a zoo member: the cost model is
+    // the model.
+    report.runtime_model_description = report.cost_model.ToString();
+    report.per_iteration_seconds =
+        report.cost_model.PredictProfile(report.extrapolated_profile);
+  }
   report.predicted_superstep_seconds = 0.0;
   for (const double s : report.per_iteration_seconds) {
     report.predicted_superstep_seconds += s;
   }
+
+  // 7. Interval: residual bootstrap over the fitted member's training
+  // residuals, stretched by the deployment's straggler spread.
+  report.distribution =
+      BootstrapDistribution(report.per_iteration_seconds, model.residuals,
+                            profile.straggler_spread, stages.bootstrap);
   return report;
 }
 

@@ -25,9 +25,11 @@
 #include "bsp/thread_pool.h"
 #include "common/result.h"
 #include "core/cost_model.h"
+#include "core/distribution.h"
 #include "core/extrapolator.h"
 #include "core/features.h"
 #include "core/history.h"
+#include "core/models/model_selector.h"
 #include "core/transform.h"
 #include "pipeline/stages.h"
 #include "sampling/sampler.h"
@@ -50,6 +52,14 @@ struct PredictorOptions {
 
   /// Custom transform function; null = the paper's default rules.
   const TransformFunction* transform = nullptr;
+
+  /// Model-zoo selection thresholds (core/models/model_selector.h). The
+  /// defaults keep history-free and single-deployment flows on the
+  /// paper's cost model, bit-identical to the pre-zoo predictor.
+  models::ModelZooOptions model_zoo;
+
+  /// Residual-bootstrap prediction intervals (core/distribution.h).
+  BootstrapOptions bootstrap;
 };
 
 /// Output of one prediction.
@@ -78,7 +88,19 @@ struct PredictionReport {
   ExtrapolationFactors factors;
 
   /// The trained cost model (R^2, selected features, coefficients).
+  /// Always the paper's OLS fit, even when another zoo member predicts.
   CostModel cost_model;
+
+  /// Which zoo member produced per_iteration_seconds, and why the
+  /// selector picked it.
+  models::ModelSelection model_selection;
+  /// ToString() of the selected member, e.g. "ernest: 0.3 + 12/w + ...".
+  std::string runtime_model_description;
+
+  /// The prediction as a distribution: point estimate plus bootstrap
+  /// P50/P95 and replicates (degenerate when bootstrapping is off).
+  /// distribution.point_seconds == predicted_superstep_seconds.
+  PredictionDistribution distribution;
 
   /// Profiles: as measured on the sample, and extrapolated to full scale.
   RunProfile sample_profile;
@@ -103,13 +125,17 @@ struct PredictionPipeline {
       : sample(options.sampler),
         transform(options.transform),
         profile(options.engine),
-        fit(options.cost_model, options.history) {}
+        fit(options.cost_model, options.history, options.model_zoo),
+        bootstrap(options.bootstrap) {}
 
   pipeline::SampleStage sample;
   pipeline::TransformStage transform;
   pipeline::ProfileStage profile;
   pipeline::ExtrapolateStage extrapolate;
   pipeline::FitStage fit;
+  /// Interval configuration for AssemblePredictionReport (no stage of
+  /// its own: bootstrapping consumes the fit's residuals in place).
+  BootstrapOptions bootstrap;
 };
 
 /// THE history-scoping rule, shared by Predictor's what-if sweep and

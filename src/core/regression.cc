@@ -98,6 +98,51 @@ Result<LinearModel> FitOls(const std::vector<std::vector<double>>& rows,
     }
   }
 
+  // Degenerate-input checks: each of these would previously produce
+  // NaN/Inf or ridge-regularized garbage coefficients that only surface
+  // as absurd predictions far downstream.
+  for (const double y : targets) {
+    if (!std::isfinite(y)) {
+      return Status::InvalidArgument("non-finite training target");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (const int idx : feature_indices) {
+      if (!std::isfinite(rows[i][idx])) {
+        return Status::InvalidArgument("non-finite value in training row " +
+                                       std::to_string(i));
+      }
+    }
+  }
+  if (n < k + 1) {
+    return Status::InvalidArgument(
+        "underdetermined fit: " + std::to_string(n) + " rows for " +
+        std::to_string(k) + " features + intercept");
+  }
+  if (k > 0) {
+    bool target_varies = false;
+    for (const double y : targets) {
+      if (y != targets[0]) {
+        target_varies = true;
+        break;
+      }
+    }
+    if (!target_varies) {
+      return Status::FailedPrecondition(
+          "zero-variance targets: nothing to fit beyond the constant");
+    }
+    bool any_feature_varies = false;
+    for (const int idx : feature_indices) {
+      for (size_t i = 1; i < n && !any_feature_varies; ++i) {
+        if (rows[i][idx] != rows[0][idx]) any_feature_varies = true;
+      }
+    }
+    if (!any_feature_varies) {
+      return Status::FailedPrecondition(
+          "all training rows identical over the selected features");
+    }
+  }
+
   // Column scaling: normal equations on raw byte counts (1e8) vs. an
   // intercept column (1) are badly conditioned otherwise.
   std::vector<double> scale(k, 1.0);
@@ -196,9 +241,142 @@ Result<LinearModel> ForwardSelect(const std::vector<std::vector<double>>& rows,
   return best;
 }
 
+Result<std::vector<double>> FitNnls(const std::vector<std::vector<double>>& rows,
+                                    const std::vector<double>& targets,
+                                    int max_iterations) {
+  const size_t n = rows.size();
+  if (n == 0) return Status::InvalidArgument("no training rows");
+  if (n != targets.size()) {
+    return Status::InvalidArgument("rows/targets size mismatch");
+  }
+  const size_t k = rows[0].size();
+  if (k == 0) return Status::InvalidArgument("no design-matrix columns");
+  for (size_t i = 0; i < n; ++i) {
+    if (rows[i].size() != k) {
+      return Status::InvalidArgument("ragged design matrix");
+    }
+    for (const double x : rows[i]) {
+      if (!std::isfinite(x)) {
+        return Status::InvalidArgument("non-finite value in design row " +
+                                       std::to_string(i));
+      }
+    }
+  }
+  for (const double y : targets) {
+    if (!std::isfinite(y)) {
+      return Status::InvalidArgument("non-finite training target");
+    }
+  }
+
+  // Precompute the normal equations: ata = A^T A, atb = A^T b. k is tiny
+  // (4 for the Ernest basis), so dense is the right representation.
+  std::vector<std::vector<double>> ata(k, std::vector<double>(k, 0.0));
+  std::vector<double> atb(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = 0; b < k; ++b) ata[a][b] += rows[i][a] * rows[i][b];
+      atb[a] += rows[i][a] * targets[i];
+    }
+  }
+
+  // Scale tolerance to the problem so byte-sized and second-sized
+  // columns behave alike.
+  double max_diag = 0.0;
+  for (size_t j = 0; j < k; ++j) max_diag = std::max(max_diag, ata[j][j]);
+  const double tolerance = 1e-10 * std::max(1.0, max_diag);
+
+  // Lawson–Hanson active set. Deterministic: the entering column is the
+  // one with the largest gradient, ties broken by lowest index, and the
+  // passive-set solve is plain Gaussian elimination.
+  std::vector<double> x(k, 0.0);
+  std::vector<bool> passive(k, false);
+
+  // Solves the normal equations restricted to the passive set; returns
+  // the solution scattered over all k columns (actives at 0), or nothing
+  // if the subsystem is singular.
+  auto solve_passive = [&](std::vector<double>* z) -> bool {
+    std::vector<size_t> cols;
+    for (size_t j = 0; j < k; ++j) {
+      if (passive[j]) cols.push_back(j);
+    }
+    const size_t m = cols.size();
+    std::vector<std::vector<double>> a(m, std::vector<double>(m));
+    std::vector<double> b(m);
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < m; ++c) a[r][c] = ata[cols[r]][cols[c]];
+      b[r] = atb[cols[r]];
+    }
+    if (!SolveLinearSystem(a, b)) return false;
+    z->assign(k, 0.0);
+    for (size_t r = 0; r < m; ++r) (*z)[cols[r]] = b[r];
+    return true;
+  };
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    // Gradient w = A^T b - A^T A x over the active (zero) set.
+    int enter = -1;
+    double best_gradient = tolerance;
+    for (size_t j = 0; j < k; ++j) {
+      if (passive[j]) continue;
+      double w = atb[j];
+      for (size_t c = 0; c < k; ++c) w -= ata[j][c] * x[c];
+      if (w > best_gradient) {
+        best_gradient = w;
+        enter = static_cast<int>(j);
+      }
+    }
+    if (enter < 0) break;  // KKT-optimal
+    passive[enter] = true;
+
+    std::vector<double> z;
+    if (!solve_passive(&z)) {
+      // Singular with the new column: it adds nothing; drop it for good.
+      passive[enter] = false;
+      break;
+    }
+    // Walk back along x -> z until everything passive is non-negative.
+    while (true) {
+      double alpha = 1.0;
+      int blocker = -1;
+      for (size_t j = 0; j < k; ++j) {
+        if (!passive[j] || z[j] > 0.0) continue;
+        const double step = x[j] / (x[j] - z[j]);
+        if (step < alpha) {
+          alpha = step;
+          blocker = static_cast<int>(j);
+        }
+      }
+      if (blocker < 0) {
+        x = z;
+        break;
+      }
+      for (size_t j = 0; j < k; ++j) {
+        if (passive[j]) x[j] += alpha * (z[j] - x[j]);
+      }
+      for (size_t j = 0; j < k; ++j) {
+        if (passive[j] && x[j] <= tolerance * 1e-2) {
+          x[j] = 0.0;
+          passive[j] = false;
+        }
+      }
+      if (!solve_passive(&z)) break;
+    }
+  }
+
+  for (double& v : x) {
+    if (v < 0.0) v = 0.0;  // numeric dust from the walk-back
+  }
+  return x;
+}
+
 double RSquared(const std::vector<double>& predicted,
                 const std::vector<double>& observed) {
   if (predicted.size() != observed.size() || observed.empty()) return 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (!std::isfinite(predicted[i]) || !std::isfinite(observed[i])) {
+      return 0.0;
+    }
+  }
   double mean = 0.0;
   for (const double y : observed) mean += y;
   mean /= static_cast<double>(observed.size());

@@ -45,10 +45,34 @@ struct LinearModel {
 /// Ordinary least squares over the given candidate-space feature subset.
 /// `rows` are full candidate-space vectors; `feature_indices` selects the
 /// regressors. A small ridge term keeps collinear subsets solvable.
+///
+/// Degenerate inputs return explicit errors instead of NaN/Inf or
+/// ridge-regularized garbage coefficients:
+///   - any non-finite row or target value        -> InvalidArgument
+///   - fewer rows than coefficients (n < k + 1)  -> InvalidArgument
+///   - zero-variance targets with features       -> FailedPrecondition
+///     (an intercept-only fit of the constant is still allowed)
+///   - every selected feature constant across
+///     all rows (all-identical rows)             -> FailedPrecondition
+/// ForwardSelect skips trial subsets that hit these, so a degenerate
+/// candidate can never be selected.
 Result<LinearModel> FitOls(const std::vector<std::vector<double>>& rows,
                            const std::vector<double>& targets,
                            const std::vector<int>& feature_indices,
                            double ridge = 1e-9);
+
+/// Non-negative least squares: minimizes ||A x - b||^2 subject to x >= 0,
+/// where A's rows are `rows` (already in design-matrix form — callers
+/// append their own intercept/basis columns) and b is `targets`.
+///
+/// Lawson–Hanson active-set over the normal equations: deterministic
+/// (ties broken by lowest column index), no randomness, no iteration-
+/// order dependence — the solver behind the Ernest-style scale-out model
+/// (NNLS over {1, 1/w, log w, w}), which needs non-negative cost terms
+/// to extrapolate sanely beyond the training range.
+Result<std::vector<double>> FitNnls(const std::vector<std::vector<double>>& rows,
+                                    const std::vector<double>& targets,
+                                    int max_iterations = 10 * 32);
 
 /// Options for forward selection.
 struct ForwardSelectionOptions {
@@ -65,7 +89,8 @@ Result<LinearModel> ForwardSelect(const std::vector<std::vector<double>>& rows,
                                   int num_candidates,
                                   const ForwardSelectionOptions& options = {});
 
-/// R^2 of predictions vs. observations.
+/// R^2 of predictions vs. observations. Hardened: size mismatches, empty
+/// inputs, and non-finite values all return 0.0 rather than NaN.
 double RSquared(const std::vector<double>& predicted,
                 const std::vector<double>& observed);
 

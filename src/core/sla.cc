@@ -7,12 +7,15 @@
 namespace predict {
 
 std::string FeasibilityReport::ToString() const {
-  std::string out = "job                     predicted    deadline  verdict\n";
+  std::string out =
+      "job                     predicted  p(conf)      deadline  verdict\n";
   char buf[160];
   for (const JobFeasibility& job : jobs) {
-    std::snprintf(buf, sizeof(buf), "%-22s %10s  %10s  %s\n",
+    std::snprintf(buf, sizeof(buf), "%-22s %10s  %10s@%.2f  %10s  %s\n",
                   job.job_name.c_str(),
                   FormatSeconds(job.predicted_seconds).c_str(),
+                  FormatSeconds(job.predicted_at_confidence_seconds).c_str(),
+                  job.confidence,
                   FormatSeconds(job.deadline_seconds).c_str(),
                   job.feasible ? "OK" : "VIOLATES SLA");
     out += buf;
@@ -39,11 +42,14 @@ Result<FeasibilityReport> AnalyzeFeasibility(const std::vector<JobRequest>& jobs
     JobFeasibility feasibility;
     feasibility.job_name = job.job_name;
     feasibility.predicted_seconds = prediction.predicted_superstep_seconds;
+    feasibility.confidence = job.confidence;
+    feasibility.predicted_at_confidence_seconds =
+        prediction.distribution.PredictedAtConfidence(job.confidence);
     feasibility.deadline_seconds = job.deadline_seconds;
     feasibility.feasible =
-        feasibility.predicted_seconds <= job.deadline_seconds;
+        feasibility.predicted_at_confidence_seconds <= job.deadline_seconds;
     feasibility.headroom_seconds =
-        job.deadline_seconds - feasibility.predicted_seconds;
+        job.deadline_seconds - feasibility.predicted_at_confidence_seconds;
     feasibility.report = std::move(prediction);
 
     report.total_predicted_seconds += feasibility.predicted_seconds;

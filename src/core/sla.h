@@ -24,15 +24,26 @@ struct JobRequest {
   std::string dataset_name;
   AlgorithmConfig overrides;   ///< actual-run configuration
   double deadline_seconds = 0.0;  ///< the SLA
+  /// Probability with which the deadline must hold. The default 0.5 is
+  /// the degenerate case: it checks the point estimate, exactly the
+  /// pre-interval behavior. Higher values check the bootstrap quantile
+  /// (PredictionDistribution::PredictedAtConfidence), which is never
+  /// below the point estimate — raising the confidence can only flip a
+  /// job from feasible to infeasible, never the reverse.
+  double confidence = 0.5;
 };
 
 /// Verdict for one job.
 struct JobFeasibility {
   std::string job_name;
-  double predicted_seconds = 0.0;  ///< superstep phase
+  double predicted_seconds = 0.0;  ///< superstep phase, point estimate
+  /// Runtime bound checked against the deadline: the point estimate at
+  /// confidence <= 0.5, the bootstrap quantile above.
+  double predicted_at_confidence_seconds = 0.0;
+  double confidence = 0.5;
   double deadline_seconds = 0.0;
   bool feasible = false;
-  double headroom_seconds = 0.0;  ///< deadline - predicted
+  double headroom_seconds = 0.0;  ///< deadline - predicted at confidence
   PredictionReport report;
 };
 

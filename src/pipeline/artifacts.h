@@ -17,12 +17,15 @@
 #define PREDICT_PIPELINE_ARTIFACTS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "algorithms/algorithm_spec.h"
 #include "core/cost_model.h"
 #include "core/extrapolator.h"
 #include "core/features.h"
+#include "core/models/model_selector.h"
 #include "sampling/sampler.h"
 
 namespace predict::pipeline {
@@ -88,6 +91,11 @@ struct ProfileArtifact {
   /// (PredictionService derives its cache key from the same
   /// EngineOptionsKey before the artifact exists.)
   std::string scenario_key;
+  /// Relative slow-worker overhang of the deployment the profile was
+  /// measured under: max worker speed factor over the mean, minus 1
+  /// (0 = homogeneous cluster). Feeds the straggler term of the
+  /// bootstrap prediction intervals (core/distribution.h).
+  double straggler_spread = 0.0;
 };
 
 /// Output of ExtrapolateStage: scaling factors and the profile scaled to
@@ -97,9 +105,21 @@ struct ExtrapolationArtifact {
   RunProfile extrapolated_profile;
 };
 
-/// Output of FitStage: the trained cost model.
+/// Output of FitStage: the trained cost model, plus the zoo member the
+/// density rule selected for the actual prediction.
 struct ModelArtifact {
+  /// The paper's cost model, always trained (reports expose its R^2 and
+  /// selected features regardless of which zoo member predicts).
   CostModel model;
+  /// The selected zoo member; the predictor calls this one. Null only in
+  /// hand-built artifacts (legacy tests) — consumers fall back to
+  /// `model`.
+  std::shared_ptr<const models::RuntimeModel> runtime_model;
+  /// Why the selector picked `runtime_model`.
+  models::ModelSelection selection;
+  /// Training residuals of the selected member (observed - predicted),
+  /// the raw material of bootstrap prediction intervals.
+  std::vector<double> residuals;
 };
 
 }  // namespace predict::pipeline

@@ -1,9 +1,12 @@
 #include "pipeline/stages.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "bsp/scenario.h"
 #include "core/features.h"
+#include "core/models/paper_model.h"
 
 namespace predict::pipeline {
 
@@ -79,6 +82,22 @@ Result<ProfileArtifact> ProfileStage::RunWithEngine(
 
   ProfileArtifact artifact;
   artifact.scenario_key = bsp::EngineOptionsKey(engine);
+  // Straggler overhang of this deployment: how much slower the slowest
+  // worker is than the average one. Workers beyond the factor vector run
+  // at 1.0 (homogeneous).
+  if (engine.num_workers > 0) {
+    double sum = 0.0;
+    double max_factor = 0.0;
+    for (uint32_t w = 0; w < engine.num_workers; ++w) {
+      const double f = engine.cost_profile.SpeedFactor(w);
+      sum += f;
+      max_factor = std::max(max_factor, f);
+    }
+    const double mean = sum / engine.num_workers;
+    if (mean > 0.0) {
+      artifact.straggler_spread = std::max(0.0, max_factor / mean - 1.0);
+    }
+  }
   artifact.sample_total_seconds = run.stats.total_seconds;
   artifact.sample_wall_seconds = run.stats.wall_seconds;
   artifact.sample_profile = ProfileFromRunStats(
@@ -103,15 +122,34 @@ Result<ExtrapolationArtifact> ExtrapolateStage::Run(
 Result<ModelArtifact> FitStage::Run(const ProfileArtifact& profile,
                                     const std::string& algorithm,
                                     const std::string& exclude_dataset) const {
-  std::vector<TrainingRow> rows =
+  const std::vector<TrainingRow> sample_rows =
       TrainingRowsFromProfile(profile.sample_profile);
+  std::vector<TrainingRow> history_rows;
   if (history_ != nullptr) {
-    const std::vector<TrainingRow> history_rows =
-        history_->TrainingRowsExcluding(algorithm, exclude_dataset);
-    rows.insert(rows.end(), history_rows.begin(), history_rows.end());
+    history_rows = history_->TrainingRowsExcluding(algorithm, exclude_dataset);
   }
+
   ModelArtifact artifact;
-  PREDICT_ASSIGN_OR_RETURN(artifact.model, CostModel::Train(rows, options_));
+  PREDICT_ASSIGN_OR_RETURN(
+      models::ModelZooFit zoo_fit,
+      models::FitModelZoo(sample_rows, history_rows, options_, zoo_));
+  artifact.selection = std::move(zoo_fit.selection);
+  artifact.residuals = std::move(zoo_fit.residuals);
+  artifact.runtime_model = std::move(zoo_fit.model);
+
+  // The paper's cost model is always part of the artifact: when the
+  // selector picked it, reuse the exact fit; otherwise train it
+  // separately so reports keep R^2 / selected features.
+  if (artifact.selection.tier == models::ModelTier::kPaper) {
+    artifact.model = static_cast<const models::PaperModel&>(
+                         *artifact.runtime_model)
+                         .cost_model();
+  } else {
+    std::vector<TrainingRow> combined = sample_rows;
+    combined.insert(combined.end(), history_rows.begin(), history_rows.end());
+    PREDICT_ASSIGN_OR_RETURN(artifact.model,
+                             CostModel::Train(combined, options_));
+  }
   return artifact;
 }
 

@@ -111,12 +111,14 @@ class ExtrapolateStage {
 
 /// Stage 5: trains the cost model on the sample run's rows plus the
 /// history store's rows for the same algorithm on *other* datasets (the
-/// paper's training methodology).
+/// paper's training methodology), and selects the zoo member for the
+/// actual prediction from history density (core/models/model_selector.h).
 class FitStage {
  public:
   /// `history` may be null (train on the sample rows alone). Not owned.
-  FitStage(CostModelOptions options, const HistoryStore* history)
-      : options_(options), history_(history) {}
+  FitStage(CostModelOptions options, const HistoryStore* history,
+           models::ModelZooOptions zoo = {})
+      : options_(options), history_(history), zoo_(zoo) {}
 
   Result<ModelArtifact> Run(const ProfileArtifact& profile,
                             const std::string& algorithm,
@@ -125,6 +127,7 @@ class FitStage {
  private:
   CostModelOptions options_;
   const HistoryStore* history_;
+  models::ModelZooOptions zoo_;
 };
 
 }  // namespace predict::pipeline

@@ -39,6 +39,10 @@ PredictionService::PredictionService(PredictionServiceOptions options)
       stages_(options_.predictor),
       history_free_stages_(WithoutHistory(options_.predictor)),
       default_engine_key_(bsp::EngineOptionsKey(options_.predictor.engine)),
+      model_config_key_(
+          models::ModelConfigKey(options_.predictor.cost_model,
+                                 options_.predictor.model_zoo) +
+          ";" + options_.predictor.bootstrap.ConfigKey()),
       pool_(ResolveThreads(options_.num_threads)) {}
 
 Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
@@ -151,10 +155,10 @@ Result<PredictionReport> PredictionService::Predict(
     engine = request.scenario->ToEngineOptions(0);
     engine_key = bsp::EngineOptionsKey(engine);
   }
-  const std::string profile_key = sample->key.ToString() + "|" +
-                                  request.algorithm + "|" + request.dataset +
-                                  "|" + transform.ConfigKey() + "|" +
-                                  engine_key;
+  const std::string profile_key =
+      sample->key.ToString() + "|" + request.algorithm + "|" +
+      request.dataset + "|" + transform.ConfigKey() + "|" + engine_key + "|" +
+      model_config_key_;
   PREDICT_ASSIGN_OR_RETURN(
       ProfilePtr profile,
       GetOrComputeProfile(profile_key, request.algorithm, request.dataset,

@@ -269,6 +269,64 @@ TEST(SlaTest, FeasibleAndInfeasibleJobs) {
   EXPECT_NE(text.find("INFEASIBLE"), std::string::npos);
 }
 
+TEST(SlaTest, ConfidenceOnlyTightensTheVerdict) {
+  // The interval contract at the SLA layer: a job admitted at high
+  // confidence is admitted by the point-estimate path too, never the
+  // reverse — raising confidence can only flip feasible -> infeasible.
+  const Graph g = TestGraph(15000, 85);
+  JobRequest base;
+  base.job_name = "ranking";
+  base.algorithm = "pagerank";
+  base.graph = &g;
+  base.dataset_name = "g";
+  base.overrides = {{"tau", PageRankTau(g)}};
+  base.deadline_seconds = 1e9;
+
+  std::vector<JobRequest> jobs(3, base);
+  jobs[0].confidence = 0.5;
+  jobs[1].confidence = 0.95;
+  jobs[2].confidence = 0.99;
+
+  // Straggler spread widens the interval above the point estimate.
+  PredictorOptions options = TestOptions();
+  options.engine.cost_profile.worker_speed_factors = {2.0, 1.5};
+
+  auto report = AnalyzeFeasibility(jobs, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->jobs.size(), 3u);
+  const JobFeasibility& point = report->jobs[0];
+  EXPECT_DOUBLE_EQ(point.predicted_at_confidence_seconds,
+                   point.predicted_seconds);
+  double previous = point.predicted_at_confidence_seconds;
+  for (size_t i = 1; i < report->jobs.size(); ++i) {
+    const JobFeasibility& job = report->jobs[i];
+    // All three predictions are the same run; only the checked bound moves.
+    EXPECT_DOUBLE_EQ(job.predicted_seconds, point.predicted_seconds);
+    EXPECT_GE(job.predicted_at_confidence_seconds, previous);
+    previous = job.predicted_at_confidence_seconds;
+    EXPECT_LE(job.headroom_seconds, point.headroom_seconds);
+    // Admitted at confidence implies admitted at the point estimate.
+    if (job.feasible) EXPECT_TRUE(point.feasible);
+  }
+  EXPECT_GT(report->jobs[2].predicted_at_confidence_seconds,
+            point.predicted_seconds);
+
+  // A deadline between the point estimate and the high-confidence bound
+  // is exactly the case confidence checking exists for: the point path
+  // admits, the 99% path must refuse.
+  std::vector<JobRequest> tight(2, base);
+  tight[0].confidence = 0.5;
+  tight[1].confidence = 0.99;
+  tight[0].deadline_seconds = tight[1].deadline_seconds =
+      (point.predicted_at_confidence_seconds +
+       report->jobs[2].predicted_at_confidence_seconds) /
+      2.0;
+  auto tight_report = AnalyzeFeasibility(tight, options);
+  ASSERT_TRUE(tight_report.ok());
+  EXPECT_TRUE(tight_report->jobs[0].feasible);
+  EXPECT_FALSE(tight_report->jobs[1].feasible);
+}
+
 TEST(SlaTest, NullGraphRejected) {
   std::vector<JobRequest> jobs(1);
   jobs[0].job_name = "broken";

@@ -18,7 +18,9 @@
 //   predict_cli scenarios
 //   predict_cli whatif    --algorithm A (--dataset NAME | --graph FILE)
 //                         [--scenarios S1,S2,... | all] [--sla SECONDS]
-//                         [--ratio R] [--config k=v]... [--threads T]
+//                         [--confidence C] [--ratio R] [--config k=v]...
+//                         [--threads T]
+//   predict_cli history   --file FILE [--algorithm A] [--list] [--export FILE2]
 //   predict_cli bound     --epsilon E [--damping D]
 //
 // Engine flags (run/predict/batch): [--scenario NAME] [--workers N]
@@ -35,6 +37,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -81,7 +84,7 @@ Flags ParseFlags(int argc, char** argv, int first) {
       arg = arg.substr(0, eq);
     } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
       value = argv[++i];
-    } else if (arg != "verify") {
+    } else if (arg != "verify" && arg != "list") {
       flags.ok = false;
       flags.error = "flag --" + arg + " needs a value";
       return flags;
@@ -415,6 +418,16 @@ int CmdPredict(const Flags& flags) {
   std::printf("  predicted iterations: %d\n", report->predicted_iterations);
   std::printf("  predicted runtime:    %s (superstep phase)\n",
               FormatSeconds(report->predicted_superstep_seconds).c_str());
+  if (!report->distribution.samples.empty()) {
+    std::printf("  interval:             p50 %s, p95 %s (%zu bootstrap "
+                "replicates)\n",
+                FormatSeconds(report->distribution.p50_seconds).c_str(),
+                FormatSeconds(report->distribution.p95_seconds).c_str(),
+                report->distribution.samples.size());
+  }
+  std::printf("  model:                %s [%s]\n",
+              report->runtime_model_description.c_str(),
+              report->model_selection.reason.c_str());
   std::printf("  cost model:           %s\n",
               report->cost_model.ToString().c_str());
   std::printf("  sample-run overhead:  %s simulated, %s wall\n",
@@ -621,9 +634,15 @@ int CmdWhatIf(const Flags& flags) {
       ParseSamplerFlags(flags, &options.predictor.sampler);
   auto threads = ParseIntegerFlag(flags, "threads", -1, -1, 4096);
   auto sla = ParseDoubleFlag(flags, "sla", 0.0);
+  auto confidence = ParseDoubleFlag(flags, "confidence", 0.5);
   if (!sampler_flags.ok()) return FlagError(sampler_flags);
   if (!threads.ok()) return FlagError(threads.status());
   if (!sla.ok()) return FlagError(sla.status());
+  if (!confidence.ok()) return FlagError(confidence.status());
+  if (*confidence < 0.0 || *confidence >= 1.0) {
+    return FlagError(Status::InvalidArgument(
+        "--confidence must be in [0, 1), got " + std::to_string(*confidence)));
+  }
   options.predictor.engine.num_threads = 0;
   options.num_threads = static_cast<int>(*threads);
 
@@ -639,8 +658,9 @@ int CmdWhatIf(const Flags& flags) {
   std::printf("%s on %s across %zu scenarios (ratio %.3f)\n\n",
               algorithm.c_str(), graph->ToString().c_str(), scenarios.size(),
               options.predictor.sampler.sampling_ratio);
-  std::printf("%-18s %8s %6s %14s %14s %s\n", "scenario", "workers", "iters",
-              "predicted", "worker-sec", *sla > 0 ? "SLA" : "");
+  std::printf("%-18s %8s %6s %14s %14s %14s %s\n", "scenario", "workers",
+              "iters", "predicted", "at-conf", "worker-sec",
+              *sla > 0 ? "SLA" : "");
   int best = -1;
   double best_cost = 0.0;
   for (size_t i = 0; i < results.size(); ++i) {
@@ -653,14 +673,18 @@ int CmdWhatIf(const Flags& flags) {
     }
     const PredictionReport& report = *results[i];
     // The SLA check targets the superstep phase — the phase PREDIcT
-    // predicts (§2.2) and the one that differs across deployments.
+    // predicts (§2.2) and the one that differs across deployments. At
+    // --confidence above 0.5 the check uses the bootstrap quantile,
+    // which is never below the point estimate: a deployment admitted at
+    // high confidence is always admitted by the point-estimate check.
     const double seconds = report.predicted_superstep_seconds;
+    const double bound = report.distribution.PredictedAtConfidence(*confidence);
     const double worker_seconds = seconds * scenario.num_workers;
-    const bool meets_sla = *sla <= 0.0 || seconds <= *sla;
-    std::printf("%-18s %8u %6d %14s %14.0f %s\n", scenario.name.c_str(),
+    const bool meets_sla = *sla <= 0.0 || bound <= *sla;
+    std::printf("%-18s %8u %6d %14s %14s %14.0f %s\n", scenario.name.c_str(),
                 scenario.num_workers, report.predicted_iterations,
-                FormatSeconds(seconds).c_str(), worker_seconds,
-                *sla > 0 ? (meets_sla ? "ok" : "MISS") : "");
+                FormatSeconds(seconds).c_str(), FormatSeconds(bound).c_str(),
+                worker_seconds, *sla > 0 ? (meets_sla ? "ok" : "MISS") : "");
     if (meets_sla && (best < 0 || worker_seconds < best_cost)) {
       best = static_cast<int>(i);
       best_cost = worker_seconds;
@@ -683,6 +707,104 @@ int CmdWhatIf(const Flags& flags) {
   return 0;
 }
 
+// ------------------------------------------------------- history inspection
+
+// Summarizes a history CSV from the model zoo's point of view: how many
+// rows each algorithm has, how many distinct worker configurations they
+// span, how spread out the observed runtimes are, and which zoo tier
+// that density qualifies the algorithm for (models::TierForConfigs).
+int CmdHistory(const Flags& flags) {
+  const std::string file = GetFlag(flags, "file");
+  if (file.empty()) {
+    std::fprintf(stderr, "history needs --file FILE\n");
+    return 2;
+  }
+  auto loaded = HistoryStore::LoadFromFile(file);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const HistoryStore store = std::move(loaded).MoveValue();
+  const std::string only_algorithm = GetFlag(flags, "algorithm");
+
+  const std::vector<RunProfile> profiles = store.profiles();
+  std::map<std::string, std::vector<const RunProfile*>> by_algorithm;
+  for (const RunProfile& profile : profiles) {
+    if (!only_algorithm.empty() && profile.algorithm != only_algorithm) {
+      continue;
+    }
+    by_algorithm[profile.algorithm].push_back(&profile);
+  }
+  if (by_algorithm.empty()) {
+    std::printf("%s: no matching profiles\n", file.c_str());
+    return only_algorithm.empty() ? 0 : 1;
+  }
+
+  if (flags.values.count("list") != 0) {
+    std::printf("%-22s %-10s %12s %12s %8s %6s %12s\n", "algorithm", "dataset",
+                "vertices", "edges", "workers", "iters", "runtime");
+    for (const auto& [algorithm, profs] : by_algorithm) {
+      for (const RunProfile* profile : profs) {
+        std::printf("%-22s %-10s %12llu %12llu %8u %6d %12s\n",
+                    algorithm.c_str(), profile->dataset.c_str(),
+                    static_cast<unsigned long long>(profile->num_vertices),
+                    static_cast<unsigned long long>(profile->num_edges),
+                    profile->num_workers, profile->num_iterations(),
+                    FormatSeconds(profile->total_superstep_seconds()).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-22s %8s %6s %8s %12s %12s %s\n", "algorithm", "profiles",
+              "rows", "configs", "mean/iter", "spread", "zoo tier");
+  const models::ModelZooOptions zoo;
+  for (const auto& [algorithm, profs] : by_algorithm) {
+    size_t rows = 0;
+    double sum = 0.0;
+    std::set<uint32_t> configs;
+    for (const RunProfile* profile : profs) {
+      configs.insert(profile->num_workers);
+      for (const IterationProfile& it : profile->iterations) {
+        ++rows;
+        sum += it.runtime_seconds;
+      }
+    }
+    const double mean = rows > 0 ? sum / static_cast<double>(rows) : 0.0;
+    // Residual spread around the per-algorithm mean: the runtime stddev,
+    // a preview of how wide this algorithm's bootstrap intervals will be.
+    double var = 0.0;
+    for (const RunProfile* profile : profs) {
+      for (const IterationProfile& it : profile->iterations) {
+        const double d = it.runtime_seconds - mean;
+        var += d * d;
+      }
+    }
+    const double spread =
+        rows > 1 ? std::sqrt(var / static_cast<double>(rows - 1)) : 0.0;
+    const models::ModelTier tier =
+        models::TierForConfigs(static_cast<int>(configs.size()), zoo);
+    std::printf("%-22s %8zu %6zu %8zu %12s %12s %s\n", algorithm.c_str(),
+                profs.size(), rows, configs.size(),
+                FormatSeconds(mean).c_str(), FormatSeconds(spread).c_str(),
+                models::ModelTierName(tier));
+  }
+
+  const std::string export_file = GetFlag(flags, "export");
+  if (!export_file.empty()) {
+    // Round-trips through the current format, upgrading legacy files
+    // (without the num_workers column) in place.
+    const Status saved = store.SaveToFile(export_file);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nexported %zu profiles to %s\n", store.size(),
+                export_file.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -698,7 +820,9 @@ int Usage() {
       "             [--threads T] [--workers N] [--scale S] [--history F]\n"
       "  scenarios  list built-in cluster scenarios\n"
       "  whatif     --algorithm A (--dataset N | --graph F)\n"
-      "             [--scenarios S1,S2,...|all] [--sla SECONDS] [--ratio R]\n"
+      "             [--scenarios S1,S2,...|all] [--sla SECONDS]\n"
+      "             [--confidence C] [--ratio R]\n"
+      "  history    --file F [--algorithm A] [--list] [--export F2]\n"
       "  bound      --epsilon E [--damping D]\n"
       "engine flags (run/predict/batch): [--scenario NAME] [--workers N]\n"
       "             [--partition hash|range|edge]\n"
@@ -728,6 +852,7 @@ int main(int argc, char** argv) {
   if (command == "batch") return CmdBatch(flags);
   if (command == "scenarios") return CmdScenarios();
   if (command == "whatif") return CmdWhatIf(flags);
+  if (command == "history") return CmdHistory(flags);
   if (command == "bound") return CmdBound(flags);
   return Usage();
 }
