@@ -1,0 +1,67 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace predict {
+
+Deadline Deadline::After(double seconds) {
+  Deadline deadline;
+  deadline.infinite_ = false;
+  deadline.at_ = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(std::max(0.0, seconds)));
+  return deadline;
+}
+
+bool Deadline::Expired() const {
+  if (infinite_) return false;
+  return std::chrono::steady_clock::now() >= at_;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (infinite_) return std::numeric_limits<double>::infinity();
+  const auto left = at_ - std::chrono::steady_clock::now();
+  return std::max(0.0, std::chrono::duration<double>(left).count());
+}
+
+double RetryPolicy::BackoffSeconds(int failed_attempts) const {
+  if (failed_attempts < 1 || initial_backoff_seconds <= 0.0) return 0.0;
+  double backoff = initial_backoff_seconds;
+  for (int i = 1; i < failed_attempts; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_seconds) break;
+  }
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (jitter_fraction > 0.0) {
+    // Stateless draw in [-1, 1): same (seed, attempt) -> same jitter.
+    const double unit = Rng::HashToUnitDouble(
+        jitter_seed, static_cast<uint64_t>(failed_attempts),
+        0x7261657472790000ULL);  // "retry" salt
+    backoff *= 1.0 + jitter_fraction * (2.0 * unit - 1.0);
+  }
+  return std::max(0.0, backoff);
+}
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace retry_internal {
+void SleepForSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+}  // namespace retry_internal
+
+}  // namespace predict

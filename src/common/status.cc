@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -62,6 +64,9 @@ Status Status::NotImplemented(std::string msg) {
 Status Status::IOError(std::string msg) {
   return Status(StatusCode::kIOError, std::move(msg));
 }
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
@@ -75,6 +80,16 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+Status StatusAnnotate(const Status& status, std::string_view context) {
+  if (status.ok()) return status;
+  std::string message(context);
+  if (!status.message().empty()) {
+    message += ": ";
+    message += status.message();
+  }
+  return Status(status.code(), std::move(message));
 }
 
 }  // namespace predict

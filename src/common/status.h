@@ -9,6 +9,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace predict {
@@ -25,6 +26,7 @@ enum class StatusCode : int {
   kInternal = 7,
   kNotImplemented = 8,
   kIOError = 9,
+  kDeadlineExceeded = 10,  ///< a request or stage ran past its deadline
 };
 
 /// \brief Result of an operation that may fail.
@@ -50,6 +52,7 @@ class Status {
   static Status Internal(std::string msg);
   static Status NotImplemented(std::string msg);
   static Status IOError(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -68,6 +71,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Human-readable representation, e.g. "InvalidArgument: negative ratio".
   std::string ToString() const;
@@ -82,6 +88,14 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Prepends provenance to an error's message, keeping its code: annotating
+/// an IOError "cannot open 'x'" with "history.load" and then
+/// "profile_stage" yields "IOError: profile_stage: history.load: cannot
+/// open 'x'". OK statuses pass through untouched. Use at stage and
+/// subsystem boundaries so errors keep their full path to the root cause
+/// instead of being replaced by a generic outer message.
+Status StatusAnnotate(const Status& status, std::string_view context);
 
 /// Returns `s` from the current function if it is an error.
 #define PREDICT_RETURN_NOT_OK(expr)                 \

@@ -1,11 +1,13 @@
 #include "core/history.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace predict {
@@ -78,9 +80,14 @@ std::vector<TrainingRow> HistoryStore::TrainingRowsExcluding(
 }
 
 Status HistoryStore::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
+  // Crash-safe: write the full file next to the target, then rename into
+  // place. rename(2) within one directory is atomic, so readers see
+  // either the old complete file or the new complete file — never a
+  // truncated one — and a crash mid-write leaves the target untouched.
+  const std::string temp_path = path + ".tmp";
+  std::ofstream out(temp_path, std::ios::trunc);
   if (!out) {
-    return Status::IOError("cannot open '" + path + "' for writing: " +
+    return Status::IOError("cannot open '" + temp_path + "' for writing: " +
                            std::strerror(errno));
   }
   out << "algorithm,dataset,num_vertices,num_edges,num_workers,iteration";
@@ -89,27 +96,50 @@ Status HistoryStore::SaveToFile(const std::string& path) const {
   }
   out << ",runtime_seconds\n";
   out.precision(17);
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const RunProfile& profile : profiles_) {
-    for (const IterationProfile& it : profile.iterations) {
-      out << profile.algorithm << ',' << profile.dataset << ','
-          << profile.num_vertices << ',' << profile.num_edges << ','
-          << profile.num_workers << ',' << it.iteration;
-      for (int i = 0; i < kNumFeatures; ++i) {
-        out << ',' << it.critical_features[i];
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const RunProfile& profile : profiles_) {
+      for (const IterationProfile& it : profile.iterations) {
+        out << profile.algorithm << ',' << profile.dataset << ','
+            << profile.num_vertices << ',' << profile.num_edges << ','
+            << profile.num_workers << ',' << it.iteration;
+        for (int i = 0; i < kNumFeatures; ++i) {
+          out << ',' << it.critical_features[i];
+        }
+        out << ',' << it.runtime_seconds << '\n';
       }
-      out << ',' << it.runtime_seconds << '\n';
     }
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
+  out.close();
+  if (!out) {
+    std::remove(temp_path.c_str());
+    return Status::IOError("write failed for '" + temp_path + "': " +
+                           std::strerror(errno));
+  }
+  const Status injected = [&]() -> Status {
+    PREDICT_FAIL_POINT("history.save");
+    return Status::OK();
+  }();
+  if (!injected.ok() || std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    const Status cause = injected.ok()
+                             ? Status::IOError("cannot rename '" + temp_path +
+                                               "' to '" + path +
+                                               "': " + std::strerror(errno))
+                             : injected;
+    std::remove(temp_path.c_str());
+    return cause;
+  }
   return Status::OK();
 }
 
-Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
+Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path,
+                                                std::string* quarantine_note) {
+  if (quarantine_note != nullptr) quarantine_note->clear();
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "': " + std::strerror(errno));
   }
+  PREDICT_FAIL_POINT("history.load");
   HistoryStore store;
   std::string line;
   if (!std::getline(in, line)) {
@@ -120,6 +150,9 @@ Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
   // per profile, which SaveToFile guarantees.
   RunProfile current;
   uint64_t line_no = 1;
+  uint64_t quarantined = 0;
+  uint64_t first_bad_line = 0;
+  std::string first_bad_text;
   while (std::getline(in, line)) {
     ++line_no;
     if (TrimWhitespace(line).empty()) continue;
@@ -130,8 +163,14 @@ Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
     const size_t with_workers = static_cast<size_t>(6 + kNumFeatures + 1);
     const size_t legacy = static_cast<size_t>(5 + kNumFeatures + 1);
     if (fields.size() != with_workers && fields.size() != legacy) {
-      return Status::IOError("malformed history row at line " +
-                             std::to_string(line_no));
+      // Quarantine: a corrupted row (partial write, manual edit) must
+      // not take down the rest of the history with it.
+      ++quarantined;
+      if (first_bad_line == 0) {
+        first_bad_line = line_no;
+        first_bad_text = line;
+      }
+      continue;
     }
     const bool has_workers = fields.size() == with_workers;
     const size_t iter_at = has_workers ? 5 : 4;
@@ -160,6 +199,13 @@ Result<HistoryStore> HistoryStore::LoadFromFile(const std::string& path) {
     current.iterations.push_back(iteration);
   }
   if (!current.iterations.empty()) store.Add(current);
+  if (quarantined > 0 && quarantine_note != nullptr) {
+    *quarantine_note = "quarantined " + std::to_string(quarantined) +
+                       " malformed history row" + (quarantined == 1 ? "" : "s") +
+                       " in '" + path + "'; first at line " +
+                       std::to_string(first_bad_line) + ": '" + first_bad_text +
+                       "'";
+  }
   return store;
 }
 

@@ -51,8 +51,19 @@ class HistoryStore {
   /// CSV persistence. Columns: algorithm,dataset,num_vertices,num_edges,
   /// num_workers,iteration,<7 features>,runtime_seconds. Files written
   /// before the num_workers column existed still load (num_workers = 0).
+  ///
+  /// SaveToFile is crash-safe: it writes to a temporary file in the same
+  /// directory and renames it into place, so a crash mid-save leaves any
+  /// previous file intact and never a half-written one.
+  ///
+  /// LoadFromFile quarantines malformed rows instead of failing the
+  /// whole file: well-formed rows load, and `quarantine_note` (when
+  /// non-null) receives a summary — count plus the first offending line
+  /// — or stays empty when every row parsed. Fail points: history.save
+  /// (before the rename), history.load (after open).
   Status SaveToFile(const std::string& path) const;
-  static Result<HistoryStore> LoadFromFile(const std::string& path);
+  static Result<HistoryStore> LoadFromFile(
+      const std::string& path, std::string* quarantine_note = nullptr);
 
  private:
   mutable std::mutex mutex_;

@@ -1,6 +1,23 @@
 #include "core/predictor.h"
 
+#include <cmath>
+#include <set>
+
+#include "core/models/scaleout_models.h"
+
 namespace predict {
+
+const char* DegradationRungName(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kFull:
+      return "full";
+    case DegradationRung::kStaleProfile:
+      return "stale_profile";
+    case DegradationRung::kHistoryOnly:
+      return "history_only";
+  }
+  return "unknown";
+}
 
 double PredictionReport::PredictedCriticalRemoteBytes() const {
   double total = 0.0;
@@ -15,7 +32,8 @@ Result<PredictionReport> AssemblePredictionReport(
     const std::string& algorithm, const std::string& dataset_name,
     const pipeline::SampleArtifact& sample,
     const pipeline::TransformArtifact& transform,
-    const pipeline::ProfileArtifact& profile) {
+    const pipeline::ProfileArtifact& profile,
+    const pipeline::StageContext& fit_ctx) {
   PredictionReport report;
   report.algorithm = algorithm;
   report.dataset = dataset_name;
@@ -36,8 +54,9 @@ Result<PredictionReport> AssemblePredictionReport(
   // 5. Cost model: train on the sample run plus history of actual runs on
   // other datasets (§3.4 "Training Methodology"); the zoo selector picks
   // which member actually predicts (density rule over history).
-  PREDICT_ASSIGN_OR_RETURN(pipeline::ModelArtifact model,
-                           stages.fit.Run(profile, algorithm, dataset_name));
+  PREDICT_ASSIGN_OR_RETURN(
+      pipeline::ModelArtifact model,
+      stages.fit.Run(profile, algorithm, dataset_name, fit_ctx));
   report.cost_model = std::move(model.model);
   report.model_selection = model.selection;
 
@@ -77,34 +96,156 @@ Result<PredictionReport> AssemblePredictionReport(
   return report;
 }
 
+Result<PredictionReport> HistoryOnlyPrediction(const PredictorOptions& options,
+                                               const std::string& algorithm,
+                                               const std::string& dataset_name,
+                                               uint32_t num_workers,
+                                               const std::string& cause) {
+  const std::string unavailable_context =
+      "history-only fallback unavailable for '" + algorithm + "'";
+  if (options.history == nullptr) {
+    return StatusAnnotate(Status::NotFound("no history store configured; " +
+                                           cause),
+                          unavailable_context);
+  }
+
+  // Every actual run of this algorithm counts — including the predicted
+  // dataset itself, which the full methodology excludes from *training*:
+  // with the sample run gone, a previous actual run of the same dataset
+  // is the best evidence left.
+  std::vector<RunProfile> matching;
+  for (RunProfile& profile : options.history->profiles()) {
+    if (profile.algorithm == algorithm) matching.push_back(std::move(profile));
+  }
+  if (matching.empty()) {
+    return StatusAnnotate(
+        Status::NotFound("history store has no runs of the algorithm; " +
+                         cause),
+        unavailable_context);
+  }
+
+  // Iteration count: the rounded mean across the history's runs.
+  double iteration_sum = 0.0;
+  std::vector<models::ScaleOutObservation> observations;
+  std::set<uint32_t> distinct_workers;
+  for (const RunProfile& profile : matching) {
+    iteration_sum += profile.num_iterations();
+    if (profile.num_workers > 0) distinct_workers.insert(profile.num_workers);
+    for (const IterationProfile& it : profile.iterations) {
+      observations.push_back({static_cast<double>(profile.num_workers),
+                              it.runtime_seconds});
+    }
+  }
+  const int predicted_iterations = std::max(
+      1, static_cast<int>(std::lround(iteration_sum /
+                                      static_cast<double>(matching.size()))));
+
+  // Ernest when the history spans enough deployments to fit its basis,
+  // else the mean observed iteration runtime.
+  PredictionReport report;
+  if (distinct_workers.size() >= 2) {
+    PREDICT_ASSIGN_OR_RETURN(models::ErnestModel model,
+                             models::ErnestModel::Fit(observations));
+    report.model_selection.tier = models::ModelTier::kErnest;
+    report.runtime_model_description = model.ToString();
+    report.per_iteration_seconds.assign(
+        predicted_iterations,
+        model.PredictIterationSeconds(FeatureVector{},
+                                      static_cast<double>(num_workers)));
+  } else {
+    PREDICT_ASSIGN_OR_RETURN(models::MeanModel model,
+                             models::MeanModel::Fit(observations));
+    report.model_selection.tier = models::ModelTier::kMean;
+    report.runtime_model_description = model.ToString();
+    report.per_iteration_seconds.assign(
+        predicted_iterations,
+        model.PredictIterationSeconds(FeatureVector{},
+                                      static_cast<double>(num_workers)));
+  }
+
+  report.algorithm = algorithm;
+  report.dataset = dataset_name;
+  report.predicted_iterations = predicted_iterations;
+  report.model_selection.unique_configurations =
+      static_cast<int>(distinct_workers.size());
+  report.model_selection.history_rows = observations.size();
+  report.model_selection.reason =
+      "history-only degraded fallback (" +
+      std::to_string(matching.size()) + " history run" +
+      (matching.size() == 1 ? "" : "s") + ")";
+  report.transform_description = "none (no sample run)";
+  for (const double s : report.per_iteration_seconds) {
+    report.predicted_superstep_seconds += s;
+  }
+  // Degenerate distribution: no fitted residuals survive the fallback.
+  report.distribution.point_seconds = report.predicted_superstep_seconds;
+  report.distribution.p50_seconds = report.predicted_superstep_seconds;
+  report.distribution.p95_seconds = report.predicted_superstep_seconds;
+  report.degradation.rung = DegradationRung::kHistoryOnly;
+  report.degradation.cause = cause;
+  return report;
+}
+
 Result<PredictionReport> Predictor::PredictRuntime(
     const std::string& algorithm, const Graph& graph,
     const std::string& dataset_name, const AlgorithmConfig& overrides) {
   const PredictionPipeline stages(options_);
+  const RobustnessOptions& robustness = options_.robustness;
+  const Deadline deadline = robustness.deadline_seconds > 0
+                                ? Deadline::After(robustness.deadline_seconds)
+                                : Deadline::Infinite();
+  RequestAccounting accounting;
+  const pipeline::StageContext sample_ctx{robustness.retry, deadline,
+                                          &accounting.sample};
+  const pipeline::StageContext profile_ctx{robustness.retry, deadline,
+                                           &accounting.profile};
+  const pipeline::StageContext fit_ctx{robustness.retry, deadline,
+                                       &accounting.fit};
 
   // Fail fast on an unknown algorithm or bad override before paying for
-  // the sampling pass.
+  // the sampling pass. Never degrades: a misspelled request is a caller
+  // bug, and answering it from history would mask the typo.
   const Status valid = stages.transform.Validate(algorithm, overrides);
   if (!valid.ok()) return valid;
 
-  // 1. Sample (§3.2.1).
-  PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact sample,
-                           stages.sample.Run(graph));
+  // The degradation ladder. The Predictor holds no caches, so its ladder
+  // has one rung below the full pipeline: history-only. When even that is
+  // unavailable the annotated fallback error (which carries the original
+  // cause) is the explicit bottom.
+  auto degrade = [&](const Status& cause) -> Result<PredictionReport> {
+    if (!robustness.degraded_fallbacks) return cause;
+    Result<PredictionReport> fallback =
+        HistoryOnlyPrediction(options_, algorithm, dataset_name,
+                              options_.engine.num_workers, cause.ToString());
+    if (!fallback.ok()) return fallback.status();
+    fallback->accounting = accounting;
+    return fallback;
+  };
 
-  // 2. Transform (§3.2.2).
+  // 1. Sample (§3.2.1).
+  Result<pipeline::SampleArtifact> sample = stages.sample.Run(graph, sample_ctx);
+  if (!sample.ok()) return degrade(sample.status());
+
+  // 2. Transform (§3.2.2). Pure config arithmetic — a failure here is a
+  // configuration bug, not a fault, so it does not degrade.
   PREDICT_ASSIGN_OR_RETURN(
       pipeline::TransformArtifact transform,
-      stages.transform.Run(algorithm, overrides, sample.realized_ratio()));
+      stages.transform.Run(algorithm, overrides, sample->realized_ratio()));
 
   // 3. Sample run with profiling (§3.2). Same engine configuration as the
   // actual run (assumption iii).
-  PREDICT_ASSIGN_OR_RETURN(
-      pipeline::ProfileArtifact profile,
-      stages.profile.Run(algorithm, dataset_name, sample, transform));
+  Result<pipeline::ProfileArtifact> profile =
+      stages.profile.Run(algorithm, dataset_name, *sample, transform,
+                         profile_ctx);
+  if (!profile.ok()) return degrade(profile.status());
 
   // 4-6. Extrapolate, fit, predict.
-  return AssemblePredictionReport(stages, graph, algorithm, dataset_name,
-                                  sample, transform, profile);
+  Result<PredictionReport> report =
+      AssemblePredictionReport(stages, graph, algorithm, dataset_name, *sample,
+                               transform, *profile, fit_ctx);
+  if (!report.ok()) return degrade(report.status());
+  report->accounting = accounting;
+  return report;
 }
 
 std::vector<Result<PredictionReport>> Predictor::PredictAcrossScenarios(
@@ -120,6 +261,15 @@ std::vector<Result<PredictionReport>> Predictor::PredictAcrossScenarios(
   const PredictionPipeline history_free_stages(history_free_options);
   const std::string baseline_key = bsp::EngineOptionsKey(options_.engine);
 
+  // One deadline for the whole sweep, the retry policy applied at every
+  // boundary. No attempt accounting: the slots would race across the
+  // fan-out threads, and the ladder is the single-prediction APIs' job.
+  const RobustnessOptions& robustness = options_.robustness;
+  const Deadline deadline = robustness.deadline_seconds > 0
+                                ? Deadline::After(robustness.deadline_seconds)
+                                : Deadline::Infinite();
+  const pipeline::StageContext ctx{robustness.retry, deadline, nullptr};
+
   // The front half is deployment-independent: validate, sample and
   // transform once, then share the artifacts across every scenario.
   auto front_half = [&]() -> Result<
@@ -127,7 +277,7 @@ std::vector<Result<PredictionReport>> Predictor::PredictAcrossScenarios(
     const Status valid = stages.transform.Validate(algorithm, overrides);
     if (!valid.ok()) return valid;
     PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact sample,
-                             stages.sample.Run(graph));
+                             stages.sample.Run(graph, ctx));
     PREDICT_ASSIGN_OR_RETURN(
         pipeline::TransformArtifact transform,
         stages.transform.Run(algorithm, overrides, sample.realized_ratio()));
@@ -146,13 +296,13 @@ std::vector<Result<PredictionReport>> Predictor::PredictAcrossScenarios(
     PREDICT_ASSIGN_OR_RETURN(
         pipeline::ProfileArtifact profile,
         stages.profile.RunWithEngine(algorithm, dataset_name, sample,
-                                     transform, engine));
+                                     transform, engine, ctx));
     PREDICT_ASSIGN_OR_RETURN(
         PredictionReport report,
         AssemblePredictionReport(
             StagesForDeployment(bsp::EngineOptionsKey(engine), baseline_key,
                                 stages, history_free_stages),
-            graph, algorithm, dataset_name, sample, transform, profile));
+            graph, algorithm, dataset_name, sample, transform, profile, ctx));
     report.scenario = scenario.name;
     return report;
   };

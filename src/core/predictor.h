@@ -36,6 +36,58 @@
 
 namespace predict {
 
+/// Fault-tolerance knobs for one prediction request. The defaults (one
+/// attempt, no deadline, no fallbacks) reproduce the pre-robustness
+/// behavior bit for bit; chaos tests, the bench gate and the CLI opt in
+/// explicitly.
+struct RobustnessOptions {
+  /// Applied independently at every pipeline stage boundary.
+  RetryPolicy retry;
+  /// Whole-request deadline in seconds; <= 0 means none.
+  double deadline_seconds = 0.0;
+  /// When true, a failed or deadline-exceeded profile run degrades to a
+  /// cheaper prediction (stale profile, then history-only) instead of
+  /// failing the request.
+  bool degraded_fallbacks = false;
+};
+
+/// How much of the methodology a report is built from: the rung of the
+/// degradation ladder the request landed on.
+enum class DegradationRung {
+  kFull = 0,         ///< the normal five-stage pipeline
+  kStaleProfile,     ///< cached profile from a previous epoch (service only)
+  kHistoryOnly,      ///< no sample run at all; fit on history alone
+};
+
+const char* DegradationRungName(DegradationRung rung);
+
+/// Which rung a prediction landed on and why it fell there.
+struct DegradationInfo {
+  DegradationRung rung = DegradationRung::kFull;
+  /// Empty on kFull; otherwise the stage error that forced the fall.
+  std::string cause;
+
+  bool degraded() const { return rung != DegradationRung::kFull; }
+};
+
+/// Per-request attempt/latency accounting, filled when a StageContext
+/// carried a retry policy. Host-execution-dependent (a cache hit skips a
+/// stage entirely), so excluded from determinism comparisons — like
+/// sample_wall_seconds.
+struct RequestAccounting {
+  AttemptAccounting sample;
+  AttemptAccounting profile;
+  AttemptAccounting fit;
+
+  int total_attempts() const {
+    return sample.attempts + profile.attempts + fit.attempts;
+  }
+  double total_backoff_seconds() const {
+    return sample.backoff_seconds + profile.backoff_seconds +
+           fit.backoff_seconds;
+  }
+};
+
 /// Everything configuring one prediction.
 struct PredictorOptions {
   /// Sampling technique + ratio (§3.2.1). The default is BRJ at 10%.
@@ -60,6 +112,9 @@ struct PredictorOptions {
 
   /// Residual-bootstrap prediction intervals (core/distribution.h).
   BootstrapOptions bootstrap;
+
+  /// Retries, deadline and degraded-mode fallbacks. Default: off.
+  RobustnessOptions robustness;
 };
 
 /// Output of one prediction.
@@ -112,6 +167,14 @@ struct PredictionReport {
   double sample_wall_seconds = 0.0;
   double realized_sampling_ratio = 0.0;
 
+  /// Which degradation rung produced this report (kFull unless the
+  /// request fell back) and the error that caused the fall.
+  DegradationInfo degradation;
+
+  /// Attempt/backoff accounting for the request. Excluded from
+  /// determinism byte-compares (see RequestAccounting).
+  RequestAccounting accounting;
+
   /// Predicted total remote message bytes on the critical-path worker
   /// (the Figure-6 "remote message bytes" key feature).
   double PredictedCriticalRemoteBytes() const;
@@ -162,7 +225,24 @@ Result<PredictionReport> AssemblePredictionReport(
     const std::string& algorithm, const std::string& dataset_name,
     const pipeline::SampleArtifact& sample,
     const pipeline::TransformArtifact& transform,
-    const pipeline::ProfileArtifact& profile);
+    const pipeline::ProfileArtifact& profile,
+    const pipeline::StageContext& fit_ctx = {});
+
+/// The bottom rung of the degradation ladder: a prediction built from the
+/// history store alone, with no sample run. Iterations = the rounded mean
+/// iteration count of the algorithm's history profiles; per-iteration
+/// runtime from an Ernest fit over the history's (workers, runtime) rows
+/// when at least two distinct positive worker counts exist, else from the
+/// mean model. Far coarser than the methodology — the report says so via
+/// `degradation` (rung kHistoryOnly, the given `cause`).
+///
+/// Fails with the annotated cause when the options carry no usable
+/// history for `algorithm` — the ladder's explicit-error bottom.
+Result<PredictionReport> HistoryOnlyPrediction(const PredictorOptions& options,
+                                               const std::string& algorithm,
+                                               const std::string& dataset_name,
+                                               uint32_t num_workers,
+                                               const std::string& cause);
 
 /// \brief Runs the PREDIcT methodology for one (algorithm, graph) pair.
 class Predictor {
@@ -175,6 +255,13 @@ class Predictor {
   /// the history store (the paper trains on "all other datasets but the
   /// predicted one"). `overrides` configure the *actual* run; the
   /// transform function derives the sample run's configuration from them.
+  ///
+  /// Honors options().robustness: each stage runs under the retry policy
+  /// and the request deadline, and when degraded_fallbacks is set a
+  /// failed stage falls back to HistoryOnlyPrediction (the Predictor has
+  /// no profile cache, so the stale-profile rung is service-only).
+  /// Validation failures (unknown algorithm, bad override) never degrade
+  /// — a misspelled request must fail loudly.
   Result<PredictionReport> PredictRuntime(const std::string& algorithm,
                                           const Graph& graph,
                                           const std::string& dataset_name = "",

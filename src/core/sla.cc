@@ -9,15 +9,19 @@ namespace predict {
 std::string FeasibilityReport::ToString() const {
   std::string out =
       "job                     predicted  p(conf)      deadline  verdict\n";
-  char buf[160];
+  char buf[192];
   for (const JobFeasibility& job : jobs) {
-    std::snprintf(buf, sizeof(buf), "%-22s %10s  %10s@%.2f  %10s  %s\n",
+    const char* verdict = job.feasible ? "OK" : "VIOLATES SLA";
+    if (job.rejected_degraded) verdict = "DEGRADED (rejected)";
+    std::snprintf(buf, sizeof(buf), "%-22s %10s  %10s@%.2f  %10s  %s%s\n",
                   job.job_name.c_str(),
                   FormatSeconds(job.predicted_seconds).c_str(),
                   FormatSeconds(job.predicted_at_confidence_seconds).c_str(),
                   job.confidence,
-                  FormatSeconds(job.deadline_seconds).c_str(),
-                  job.feasible ? "OK" : "VIOLATES SLA");
+                  FormatSeconds(job.deadline_seconds).c_str(), verdict,
+                  job.degradation.degraded() && !job.rejected_degraded
+                      ? " [degraded]"
+                      : "");
     out += buf;
   }
   std::snprintf(buf, sizeof(buf), "workload: %s, total predicted %s\n",
@@ -50,6 +54,13 @@ Result<FeasibilityReport> AnalyzeFeasibility(const std::vector<JobRequest>& jobs
         feasibility.predicted_at_confidence_seconds <= job.deadline_seconds;
     feasibility.headroom_seconds =
         job.deadline_seconds - feasibility.predicted_at_confidence_seconds;
+    feasibility.degradation = prediction.degradation;
+    if (job.require_full_quality && prediction.degradation.degraded()) {
+      // A degraded prediction skips the methodology the SLA decision is
+      // calibrated on; the caller asked not to gamble on it.
+      feasibility.feasible = false;
+      feasibility.rejected_degraded = true;
+    }
     feasibility.report = std::move(prediction);
 
     report.total_predicted_seconds += feasibility.predicted_seconds;

@@ -31,6 +31,12 @@ struct JobRequest {
   /// below the point estimate — raising the confidence can only flip a
   /// job from feasible to infeasible, never the reverse.
   double confidence = 0.5;
+  /// When set and the predictor runs with degraded fallbacks, a
+  /// prediction answered from a degradation rung (stale profile or
+  /// history-only) is not trusted for this job's SLA: the job is marked
+  /// infeasible regardless of the predicted number. Default: a degraded
+  /// answer is still an answer.
+  bool require_full_quality = false;
 };
 
 /// Verdict for one job.
@@ -44,6 +50,11 @@ struct JobFeasibility {
   double deadline_seconds = 0.0;
   bool feasible = false;
   double headroom_seconds = 0.0;  ///< deadline - predicted at confidence
+  /// Copied from the prediction: which rung answered (kFull unless the
+  /// predictor degraded) and why.
+  DegradationInfo degradation;
+  /// True when require_full_quality vetoed a degraded prediction.
+  bool rejected_degraded = false;
   PredictionReport report;
 };
 

@@ -99,7 +99,10 @@ Status WriteBinaryGraphFile(const Graph& graph, const std::string& path) {
       }
     }
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
+  if (!out) {
+    return Status::IOError("write failed for '" + path + "': " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -157,7 +160,10 @@ Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
       out << '\n';
     }
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
+  if (!out) {
+    return Status::IOError("write failed for '" + path + "': " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 

@@ -5,10 +5,35 @@
 #include <utility>
 
 #include "bsp/scenario.h"
+#include "common/failpoint.h"
+#include "common/strings.h"
 #include "core/features.h"
 #include "core/models/paper_model.h"
 
 namespace predict::pipeline {
+
+namespace {
+
+// Every stage boundary funnels through here: check the request deadline
+// before starting, run the stage body under the caller's retry policy,
+// and annotate any error with the stage's name so it keeps its
+// provenance ("profile_stage: injected fault at 'profile.run' ...").
+template <typename Fn>
+auto RunStage(const char* stage, const StageContext& ctx, Fn&& fn)
+    -> decltype(fn()) {
+  if (ctx.deadline.Expired()) {
+    return Status::DeadlineExceeded(std::string(stage) +
+                                    ": deadline expired before the stage ran");
+  }
+  auto result = RunWithRetry(ctx.retry, ctx.deadline, stage,
+                             std::forward<Fn>(fn), ctx.accounting);
+  if (!result.ok() && !StartsWith(result.status().message(), stage)) {
+    return StatusAnnotate(result.status(), stage);
+  }
+  return result;
+}
+
+}  // namespace
 
 SampleKey SampleKey::For(const Graph& graph, const SamplerOptions& options) {
   return SampleKey{graph.Fingerprint(), graph.num_vertices(),
@@ -34,11 +59,16 @@ std::string TransformArtifact::ConfigKey() const {
   return key;
 }
 
-Result<SampleArtifact> SampleStage::Run(const Graph& graph) const {
-  SampleArtifact artifact;
-  artifact.key = SampleKey::For(graph, options_);
-  PREDICT_ASSIGN_OR_RETURN(artifact.sample, SampleGraph(graph, options_));
-  return artifact;
+Result<SampleArtifact> SampleStage::Run(const Graph& graph,
+                                        const StageContext& ctx) const {
+  return RunStage("sample_stage", ctx, [&]() -> Result<SampleArtifact> {
+    SampleArtifact artifact;
+    artifact.key = SampleKey::For(graph, options_);
+    PREDICT_FAIL_POINT_CTX("sample.walk",
+                           fail::HashContext(artifact.key.ToString()));
+    PREDICT_ASSIGN_OR_RETURN(artifact.sample, SampleGraph(graph, options_));
+    return artifact;
+  });
 }
 
 Status TransformStage::Validate(const std::string& algorithm,
@@ -72,85 +102,112 @@ Result<TransformArtifact> TransformStage::Run(const std::string& algorithm,
 Result<ProfileArtifact> ProfileStage::RunWithEngine(
     const std::string& algorithm, const std::string& dataset_name,
     const SampleArtifact& sample, const TransformArtifact& transform,
-    const bsp::EngineOptions& engine) const {
-  RunOptions run_options;
-  run_options.engine = engine;
-  run_options.config_overrides = transform.sample_config;
-  PREDICT_ASSIGN_OR_RETURN(
-      AlgorithmRunResult run,
-      RunAlgorithmByName(algorithm, sample.sample.subgraph, run_options));
+    const bsp::EngineOptions& engine, const StageContext& ctx) const {
+  // Context-keyed fail point: the decision for a given work item is a
+  // pure function of what is being profiled, never of how many other
+  // profile runs interleaved before it — which is what keeps a
+  // probabilistic fault schedule byte-replayable through the concurrent
+  // service.
+  const uint64_t fail_context =
+      fail::AnyActive()
+          ? fail::HashContext(algorithm + "|" + dataset_name + "|" +
+                              transform.ConfigKey() + "|" +
+                              bsp::EngineOptionsKey(engine))
+          : 0;
+  return RunStage("profile_stage", ctx, [&]() -> Result<ProfileArtifact> {
+    PREDICT_FAIL_POINT_CTX("profile.run", fail_context);
+    RunOptions run_options;
+    run_options.engine = engine;
+    run_options.config_overrides = transform.sample_config;
+    PREDICT_ASSIGN_OR_RETURN(
+        AlgorithmRunResult run,
+        RunAlgorithmByName(algorithm, sample.sample.subgraph, run_options));
 
-  ProfileArtifact artifact;
-  artifact.scenario_key = bsp::EngineOptionsKey(engine);
-  // Straggler overhang of this deployment: how much slower the slowest
-  // worker is than the average one. Workers beyond the factor vector run
-  // at 1.0 (homogeneous).
-  if (engine.num_workers > 0) {
-    double sum = 0.0;
-    double max_factor = 0.0;
-    for (uint32_t w = 0; w < engine.num_workers; ++w) {
-      const double f = engine.cost_profile.SpeedFactor(w);
-      sum += f;
-      max_factor = std::max(max_factor, f);
+    ProfileArtifact artifact;
+    artifact.scenario_key = bsp::EngineOptionsKey(engine);
+    // Straggler overhang of this deployment: how much slower the slowest
+    // worker is than the average one. Workers beyond the factor vector
+    // run at 1.0 (homogeneous).
+    if (engine.num_workers > 0) {
+      double sum = 0.0;
+      double max_factor = 0.0;
+      for (uint32_t w = 0; w < engine.num_workers; ++w) {
+        const double f = engine.cost_profile.SpeedFactor(w);
+        sum += f;
+        max_factor = std::max(max_factor, f);
+      }
+      const double mean = sum / engine.num_workers;
+      if (mean > 0.0) {
+        artifact.straggler_spread = std::max(0.0, max_factor / mean - 1.0);
+      }
     }
-    const double mean = sum / engine.num_workers;
-    if (mean > 0.0) {
-      artifact.straggler_spread = std::max(0.0, max_factor / mean - 1.0);
-    }
-  }
-  artifact.sample_total_seconds = run.stats.total_seconds;
-  artifact.sample_wall_seconds = run.stats.wall_seconds;
-  artifact.sample_profile = ProfileFromRunStats(
-      algorithm, dataset_name.empty() ? "sample" : dataset_name + "_sample",
-      sample.sample.subgraph.num_vertices(), sample.sample.subgraph.num_edges(),
-      run.stats);
-  return artifact;
+    artifact.sample_total_seconds = run.stats.total_seconds;
+    artifact.sample_wall_seconds = run.stats.wall_seconds;
+    artifact.sample_profile = ProfileFromRunStats(
+        algorithm, dataset_name.empty() ? "sample" : dataset_name + "_sample",
+        sample.sample.subgraph.num_vertices(),
+        sample.sample.subgraph.num_edges(), run.stats);
+    return artifact;
+  });
 }
 
 Result<ExtrapolationArtifact> ExtrapolateStage::Run(
     const Graph& full_graph, const SampleArtifact& sample,
-    const ProfileArtifact& profile) const {
-  ExtrapolationArtifact artifact;
-  PREDICT_ASSIGN_OR_RETURN(
-      artifact.factors,
-      ComputeExtrapolationFactors(full_graph, sample.sample.subgraph));
-  artifact.extrapolated_profile =
-      ExtrapolateProfile(profile.sample_profile, artifact.factors);
-  return artifact;
+    const ProfileArtifact& profile, const StageContext& ctx) const {
+  return RunStage("extrapolate_stage", ctx,
+                  [&]() -> Result<ExtrapolationArtifact> {
+    ExtrapolationArtifact artifact;
+    PREDICT_ASSIGN_OR_RETURN(
+        artifact.factors,
+        ComputeExtrapolationFactors(full_graph, sample.sample.subgraph));
+    artifact.extrapolated_profile =
+        ExtrapolateProfile(profile.sample_profile, artifact.factors);
+    return artifact;
+  });
 }
 
 Result<ModelArtifact> FitStage::Run(const ProfileArtifact& profile,
                                     const std::string& algorithm,
-                                    const std::string& exclude_dataset) const {
-  const std::vector<TrainingRow> sample_rows =
-      TrainingRowsFromProfile(profile.sample_profile);
-  std::vector<TrainingRow> history_rows;
-  if (history_ != nullptr) {
-    history_rows = history_->TrainingRowsExcluding(algorithm, exclude_dataset);
-  }
+                                    const std::string& exclude_dataset,
+                                    const StageContext& ctx) const {
+  const uint64_t fail_context =
+      fail::AnyActive()
+          ? fail::HashContext(algorithm + "|" + exclude_dataset)
+          : 0;
+  return RunStage("fit_stage", ctx, [&]() -> Result<ModelArtifact> {
+    PREDICT_FAIL_POINT_CTX("fit.ols", fail_context);
+    const std::vector<TrainingRow> sample_rows =
+        TrainingRowsFromProfile(profile.sample_profile);
+    std::vector<TrainingRow> history_rows;
+    if (history_ != nullptr) {
+      history_rows =
+          history_->TrainingRowsExcluding(algorithm, exclude_dataset);
+    }
 
-  ModelArtifact artifact;
-  PREDICT_ASSIGN_OR_RETURN(
-      models::ModelZooFit zoo_fit,
-      models::FitModelZoo(sample_rows, history_rows, options_, zoo_));
-  artifact.selection = std::move(zoo_fit.selection);
-  artifact.residuals = std::move(zoo_fit.residuals);
-  artifact.runtime_model = std::move(zoo_fit.model);
+    ModelArtifact artifact;
+    PREDICT_ASSIGN_OR_RETURN(
+        models::ModelZooFit zoo_fit,
+        models::FitModelZoo(sample_rows, history_rows, options_, zoo_));
+    artifact.selection = std::move(zoo_fit.selection);
+    artifact.residuals = std::move(zoo_fit.residuals);
+    artifact.runtime_model = std::move(zoo_fit.model);
 
-  // The paper's cost model is always part of the artifact: when the
-  // selector picked it, reuse the exact fit; otherwise train it
-  // separately so reports keep R^2 / selected features.
-  if (artifact.selection.tier == models::ModelTier::kPaper) {
-    artifact.model = static_cast<const models::PaperModel&>(
-                         *artifact.runtime_model)
-                         .cost_model();
-  } else {
-    std::vector<TrainingRow> combined = sample_rows;
-    combined.insert(combined.end(), history_rows.begin(), history_rows.end());
-    PREDICT_ASSIGN_OR_RETURN(artifact.model,
-                             CostModel::Train(combined, options_));
-  }
-  return artifact;
+    // The paper's cost model is always part of the artifact: when the
+    // selector picked it, reuse the exact fit; otherwise train it
+    // separately so reports keep R^2 / selected features.
+    if (artifact.selection.tier == models::ModelTier::kPaper) {
+      artifact.model = static_cast<const models::PaperModel&>(
+                           *artifact.runtime_model)
+                           .cost_model();
+    } else {
+      std::vector<TrainingRow> combined = sample_rows;
+      combined.insert(combined.end(), history_rows.begin(),
+                      history_rows.end());
+      PREDICT_ASSIGN_OR_RETURN(artifact.model,
+                               CostModel::Train(combined, options_));
+    }
+    return artifact;
+  });
 }
 
 }  // namespace predict::pipeline

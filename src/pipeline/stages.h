@@ -21,18 +21,35 @@
 
 #include "algorithms/runner.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "core/history.h"
 #include "core/transform.h"
 #include "pipeline/artifacts.h"
 
 namespace predict::pipeline {
 
+/// Execution context a caller threads through the stage boundaries of
+/// one request: a retry policy applied independently at each boundary, a
+/// deadline shared across all of them, and optional per-boundary attempt
+/// accounting. The default (one attempt, infinite deadline) reproduces
+/// the pre-context behavior exactly, so existing callers need not pass
+/// one. Stage errors come back annotated with the stage name
+/// ("profile_stage: ...") regardless of the context.
+struct StageContext {
+  RetryPolicy retry;
+  Deadline deadline;
+  /// Not owned; may be null. Counts attempts/backoff at this boundary.
+  AttemptAccounting* accounting = nullptr;
+};
+
 /// Stage 1: draws the sample and stamps it with its cache identity.
+/// Fail point: sample.walk.
 class SampleStage {
  public:
   explicit SampleStage(SamplerOptions options) : options_(options) {}
 
-  Result<SampleArtifact> Run(const Graph& graph) const;
+  Result<SampleArtifact> Run(const Graph& graph,
+                             const StageContext& ctx = {}) const;
 
   const SamplerOptions& options() const { return options_; }
 
@@ -73,6 +90,9 @@ class TransformStage {
 /// prediction targets), but a what-if sweep can profile the same sample
 /// under any other deployment via RunWithEngine — the stage itself stays
 /// immutable and shareable.
+/// Fail point: profile.run, context-keyed on (algorithm, dataset,
+/// transformed config, engine key) so probabilistic fault schedules are
+/// deterministic per work item even through the concurrent service.
 class ProfileStage {
  public:
   explicit ProfileStage(bsp::EngineOptions engine)
@@ -82,8 +102,10 @@ class ProfileStage {
   Result<ProfileArtifact> Run(const std::string& algorithm,
                               const std::string& dataset_name,
                               const SampleArtifact& sample,
-                              const TransformArtifact& transform) const {
-    return RunWithEngine(algorithm, dataset_name, sample, transform, engine_);
+                              const TransformArtifact& transform,
+                              const StageContext& ctx = {}) const {
+    return RunWithEngine(algorithm, dataset_name, sample, transform, engine_,
+                         ctx);
   }
 
   /// Runs the sample under an explicit engine configuration (a cluster
@@ -93,7 +115,8 @@ class ProfileStage {
                                         const std::string& dataset_name,
                                         const SampleArtifact& sample,
                                         const TransformArtifact& transform,
-                                        const bsp::EngineOptions& engine) const;
+                                        const bsp::EngineOptions& engine,
+                                        const StageContext& ctx = {}) const;
 
   const bsp::EngineOptions& engine() const { return engine_; }
 
@@ -106,7 +129,8 @@ class ExtrapolateStage {
  public:
   Result<ExtrapolationArtifact> Run(const Graph& full_graph,
                                     const SampleArtifact& sample,
-                                    const ProfileArtifact& profile) const;
+                                    const ProfileArtifact& profile,
+                                    const StageContext& ctx = {}) const;
 };
 
 /// Stage 5: trains the cost model on the sample run's rows plus the
@@ -120,9 +144,11 @@ class FitStage {
            models::ModelZooOptions zoo = {})
       : options_(options), history_(history), zoo_(zoo) {}
 
+  /// Fail point: fit.ols, context-keyed on (algorithm, exclude_dataset).
   Result<ModelArtifact> Run(const ProfileArtifact& profile,
                             const std::string& algorithm,
-                            const std::string& exclude_dataset) const;
+                            const std::string& exclude_dataset,
+                            const StageContext& ctx = {}) const;
 
  private:
   CostModelOptions options_;

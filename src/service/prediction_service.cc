@@ -1,5 +1,6 @@
 #include "service/prediction_service.h"
 
+#include <condition_variable>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -21,18 +22,37 @@ PredictorOptions WithoutHistory(PredictorOptions options) {
 
 }  // namespace
 
-// A cache slot that deduplicates concurrent computation: whichever
-// thread first reaches call_once computes; everyone else blocks until
-// the result (value or error — both deterministic) is published.
-struct PredictionService::SampleEntry {
-  std::once_flag once;
-  Result<SamplePtr> result = Status::Internal("uncomputed");
+// A cache slot that deduplicates concurrent computation: the thread that
+// created the slot computes; everyone else blocks until the result
+// (value or error — both deterministic) is published. Deliberately NOT a
+// once_flag: a once_flag would latch the first failure into the cache
+// forever, whereas these slots are erased from the map before a failure
+// is published, so the next request re-attempts.
+template <typename ValuePtr>
+struct CacheEntry {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  Result<ValuePtr> result = Status::Internal("uncomputed");
+
+  void Publish(Result<ValuePtr> value) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      result = std::move(value);
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  Result<ValuePtr> Wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done; });
+    return result;
+  }
 };
 
-struct PredictionService::ProfileEntry {
-  std::once_flag once;
-  Result<ProfilePtr> result = Status::Internal("uncomputed");
-};
+struct PredictionService::SampleEntry : CacheEntry<SamplePtr> {};
+struct PredictionService::ProfileEntry : CacheEntry<ProfilePtr> {};
 
 PredictionService::PredictionService(PredictionServiceOptions options)
     : options_(std::move(options)),
@@ -46,10 +66,10 @@ PredictionService::PredictionService(PredictionServiceOptions options)
       pool_(ResolveThreads(options_.num_threads)) {}
 
 Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
-    const Graph& graph) {
+    const Graph& graph, const pipeline::StageContext& ctx) {
   auto compute = [&]() -> Result<SamplePtr> {
     PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact artifact,
-                             stages_.sample.Run(graph));
+                             stages_.sample.Run(graph, ctx));
     return std::make_shared<const pipeline::SampleArtifact>(
         std::move(artifact));
   };
@@ -65,33 +85,55 @@ Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
   const std::string key =
       pipeline::SampleKey::For(graph, stages_.sample.options()).ToString();
   std::shared_ptr<SampleEntry> entry;
+  bool creator = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::shared_ptr<SampleEntry>& slot = sample_cache_[key];
     if (slot == nullptr) {
       slot = std::make_shared<SampleEntry>();
+      creator = true;
       ++stats_.sample_misses;
     } else {
       ++stats_.sample_hits;
     }
     entry = slot;
   }
-  std::call_once(entry->once, [&] { entry->result = compute(); });
-  return entry->result;
+  if (!creator) return entry->Wait();
+
+  Result<SamplePtr> result = compute();
+  if (!result.ok()) {
+    // Cache hygiene: drop the slot *before* publishing the failure, so
+    // by the time any joiner observes the error the cache no longer
+    // holds it and the next request for this key re-attempts.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sample_cache_.find(key);
+    if (it != sample_cache_.end() && it->second == entry) {
+      sample_cache_.erase(it);
+    }
+  }
+  entry->Publish(result);
+  return result;
 }
 
 Result<PredictionService::ProfilePtr> PredictionService::GetOrComputeProfile(
     const std::string& profile_key, const std::string& algorithm,
     const std::string& dataset, const pipeline::SampleArtifact& sample,
     const pipeline::TransformArtifact& transform,
-    const bsp::EngineOptions& engine) {
+    const bsp::EngineOptions& engine, const pipeline::StageContext& ctx) {
   auto compute = [&]() -> Result<ProfilePtr> {
     PREDICT_ASSIGN_OR_RETURN(
         pipeline::ProfileArtifact artifact,
         stages_.profile.RunWithEngine(algorithm, dataset, sample, transform,
-                                      engine));
+                                      engine, ctx));
     return std::make_shared<const pipeline::ProfileArtifact>(
         std::move(artifact));
+  };
+  // Every successful profile run — cached or not — refreshes the
+  // stale-profile rung for its key.
+  auto remember_good = [&](const Result<ProfilePtr>& result) {
+    if (!result.ok()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_good_profiles_[profile_key] = *result;
   };
 
   if (!options_.enable_profile_cache) {
@@ -99,23 +141,40 @@ Result<PredictionService::ProfilePtr> PredictionService::GetOrComputeProfile(
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.profile_misses;
     }
-    return compute();  // outside the lock: uncached work must still overlap
+    Result<ProfilePtr> result = compute();  // outside the lock: must overlap
+    remember_good(result);
+    return result;
   }
 
   std::shared_ptr<ProfileEntry> entry;
+  bool creator = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::shared_ptr<ProfileEntry>& slot = profile_cache_[profile_key];
     if (slot == nullptr) {
       slot = std::make_shared<ProfileEntry>();
+      creator = true;
       ++stats_.profile_misses;
     } else {
       ++stats_.profile_hits;
     }
     entry = slot;
   }
-  std::call_once(entry->once, [&] { entry->result = compute(); });
-  return entry->result;
+  if (!creator) return entry->Wait();
+
+  Result<ProfilePtr> result = compute();
+  if (!result.ok()) {
+    // Cache hygiene: the failed slot leaves the map before the failure
+    // is visible to anyone (see GetOrComputeSample).
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = profile_cache_.find(profile_key);
+    if (it != profile_cache_.end() && it->second == entry) {
+      profile_cache_.erase(it);
+    }
+  }
+  remember_good(result);
+  entry->Publish(result);
+  return result;
 }
 
 Result<PredictionReport> PredictionService::Predict(
@@ -127,23 +186,25 @@ Result<PredictionReport> PredictionService::Predict(
 
   // Fail fast on an unknown algorithm or bad override before sampling
   // (and before occupying a sample-cache slot for a doomed request).
+  // Never degrades: a misspelled request must fail loudly.
   const Status valid =
       stages_.transform.Validate(request.algorithm, request.overrides);
   if (!valid.ok()) return valid;
 
-  // 1. Sample (cached on the graph's content + sampler options; the
-  // sample is deployment-independent, so scenario requests share it).
-  PREDICT_ASSIGN_OR_RETURN(SamplePtr sample, GetOrComputeSample(graph));
+  const RobustnessOptions& robustness = options_.predictor.robustness;
+  const Deadline deadline = robustness.deadline_seconds > 0
+                                ? Deadline::After(robustness.deadline_seconds)
+                                : Deadline::Infinite();
+  RequestAccounting accounting;
+  const pipeline::StageContext sample_ctx{robustness.retry, deadline,
+                                          &accounting.sample};
+  const pipeline::StageContext profile_ctx{robustness.retry, deadline,
+                                           &accounting.profile};
+  const pipeline::StageContext fit_ctx{robustness.retry, deadline,
+                                       &accounting.fit};
 
-  // 2. Transform (cheap; always recomputed).
-  PREDICT_ASSIGN_OR_RETURN(pipeline::TransformArtifact transform,
-                           stages_.transform.Run(request.algorithm,
-                                                 request.overrides,
-                                                 sample->realized_ratio()));
-
-  // 3. Sample run (cached on sample identity + algorithm + dataset label
-  // + transformed config + the target deployment's canonical engine key
-  // — everything the profile depends on).
+  // The target deployment decides both the history-only fallback's worker
+  // count and (below) the profile-cache scenario component.
   bsp::EngineOptions engine = options_.predictor.engine;
   std::string engine_key = default_engine_key_;
   if (request.scenario.has_value()) {
@@ -155,25 +216,82 @@ Result<PredictionReport> PredictionService::Predict(
     engine = request.scenario->ToEngineOptions(0);
     engine_key = bsp::EngineOptionsKey(engine);
   }
+
+  // The ladder's bottom rung: answer from history alone, at the target
+  // deployment's scale.
+  auto history_only = [&](const Status& cause) -> Result<PredictionReport> {
+    if (!robustness.degraded_fallbacks) return cause;
+    Result<PredictionReport> fallback = HistoryOnlyPrediction(
+        options_.predictor, request.algorithm, request.dataset,
+        engine.num_workers, cause.ToString());
+    if (!fallback.ok()) return fallback.status();
+    if (request.scenario.has_value()) {
+      fallback->scenario = request.scenario->name;
+    }
+    fallback->accounting = accounting;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.history_only_fallbacks;
+    }
+    return fallback;
+  };
+
+  // 1. Sample (cached on the graph's content + sampler options; the
+  // sample is deployment-independent, so scenario requests share it).
+  Result<SamplePtr> sample = GetOrComputeSample(graph, sample_ctx);
+  if (!sample.ok()) return history_only(sample.status());
+
+  // 2. Transform (cheap; always recomputed). Pure config arithmetic — a
+  // failure is a configuration bug, not a fault, and does not degrade.
+  PREDICT_ASSIGN_OR_RETURN(
+      pipeline::TransformArtifact transform,
+      stages_.transform.Run(request.algorithm, request.overrides,
+                            (*sample)->realized_ratio()));
+
+  // 3. Sample run (cached on sample identity + algorithm + dataset label
+  // + transformed config + the target deployment's canonical engine key
+  // — everything the profile depends on).
   const std::string profile_key =
-      sample->key.ToString() + "|" + request.algorithm + "|" +
+      (*sample)->key.ToString() + "|" + request.algorithm + "|" +
       request.dataset + "|" + transform.ConfigKey() + "|" + engine_key + "|" +
       model_config_key_;
-  PREDICT_ASSIGN_OR_RETURN(
-      ProfilePtr profile,
+  DegradationInfo degradation;
+  Result<ProfilePtr> profile =
       GetOrComputeProfile(profile_key, request.algorithm, request.dataset,
-                          *sample, transform, engine));
+                          **sample, transform, engine, profile_ctx);
+  if (!profile.ok()) {
+    if (!robustness.degraded_fallbacks) return profile.status();
+    // Middle rung: the last profile this service (ever) computed for the
+    // exact same key — same sample, config, deployment, just possibly
+    // from a previous cache epoch.
+    ProfilePtr stale;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = last_good_profiles_.find(profile_key);
+      if (it != last_good_profiles_.end()) stale = it->second;
+    }
+    if (stale == nullptr) return history_only(profile.status());
+    degradation.rung = DegradationRung::kStaleProfile;
+    degradation.cause = profile.status().ToString();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.stale_profile_hits;
+    }
+    profile = stale;
+  }
 
   // 4-6. Extrapolate, fit, predict — per request, never cached (history
   // exclusion and the full graph differ per request). History belongs
   // to the configured deployment only (StagesForDeployment).
   const PredictionPipeline& assemble_stages = StagesForDeployment(
       engine_key, default_engine_key_, stages_, history_free_stages_);
-  PREDICT_ASSIGN_OR_RETURN(
-      PredictionReport report,
-      AssemblePredictionReport(assemble_stages, graph, request.algorithm,
-                               request.dataset, *sample, transform, *profile));
-  if (request.scenario.has_value()) report.scenario = request.scenario->name;
+  Result<PredictionReport> report = AssemblePredictionReport(
+      assemble_stages, graph, request.algorithm, request.dataset, **sample,
+      transform, **profile, fit_ctx);
+  if (!report.ok()) return history_only(report.status());
+  report->degradation = degradation;
+  report->accounting = accounting;
+  if (request.scenario.has_value()) report->scenario = request.scenario->name;
   return report;
 }
 

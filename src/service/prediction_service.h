@@ -26,7 +26,23 @@
 // Determinism contract: every stage is deterministic, so a report served
 // from warm caches under any concurrency is bit-identical to a cold
 // sequential Predictor::PredictRuntime — except sample_wall_seconds,
-// which reports host timing of whichever run produced the artifact.
+// which reports host timing of whichever run produced the artifact, and
+// PredictionReport::accounting, which counts whichever attempts this
+// host's interleaving actually ran.
+//
+// Failure semantics (the robustness contract):
+//   - A failed stage never populates a cache: the computing thread
+//     erases the in-flight slot before publishing the error, so the next
+//     request for the key re-attempts instead of replaying a cached
+//     failure (no cache poisoning, no latched errors).
+//   - Concurrent joiners of a failed computation receive that failure
+//     (deterministic under an armed fault schedule), but do not latch it.
+//   - With predictor.robustness.degraded_fallbacks set, a failed or
+//     deadline-exceeded request walks the degradation ladder: last good
+//     profile cached for the same profile key (survives ClearCaches —
+//     "previous epoch" semantics), then a history-only fit, then the
+//     explicit error. The report's `degradation` field says which rung
+//     answered.
 
 #ifndef PREDICT_SERVICE_PREDICTION_SERVICE_H_
 #define PREDICT_SERVICE_PREDICTION_SERVICE_H_
@@ -90,6 +106,10 @@ struct ServiceCacheStats {
   uint64_t sample_misses = 0;
   uint64_t profile_hits = 0;
   uint64_t profile_misses = 0;
+  /// Degraded-mode accounting: requests answered from the stale-profile
+  /// rung and from the history-only rung.
+  uint64_t stale_profile_hits = 0;
+  uint64_t history_only_fallbacks = 0;
 };
 
 /// \brief Concurrent, caching prediction server over one pipeline
@@ -136,12 +156,13 @@ class PredictionService {
   using SamplePtr = std::shared_ptr<const pipeline::SampleArtifact>;
   using ProfilePtr = std::shared_ptr<const pipeline::ProfileArtifact>;
 
-  Result<SamplePtr> GetOrComputeSample(const Graph& graph);
+  Result<SamplePtr> GetOrComputeSample(const Graph& graph,
+                                       const pipeline::StageContext& ctx);
   Result<ProfilePtr> GetOrComputeProfile(
       const std::string& profile_key, const std::string& algorithm,
       const std::string& dataset, const pipeline::SampleArtifact& sample,
       const pipeline::TransformArtifact& transform,
-      const bsp::EngineOptions& engine);
+      const bsp::EngineOptions& engine, const pipeline::StageContext& ctx);
 
   PredictionServiceOptions options_;
   PredictionPipeline stages_;
@@ -163,9 +184,15 @@ class PredictionService {
   std::mutex batch_mutex_;
   bsp::ThreadPool pool_;
 
-  mutable std::mutex mutex_;  // guards the two maps and stats_
+  mutable std::mutex mutex_;  // guards the maps below and stats_
   std::unordered_map<std::string, std::shared_ptr<SampleEntry>> sample_cache_;
   std::unordered_map<std::string, std::shared_ptr<ProfileEntry>> profile_cache_;
+  /// Last successfully computed profile per profile key: the
+  /// stale-profile degradation rung. Updated on every successful profile
+  /// compute; intentionally NOT dropped by ClearCaches, so a service
+  /// whose caches were cleared (a "restart") can still answer from the
+  /// previous epoch's profiles when the fresh run fails.
+  std::unordered_map<std::string, ProfilePtr> last_good_profiles_;
   ServiceCacheStats stats_;
 };
 

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/features.h"
 #include "core/history.h"
 #include "core/models/model_selector.h"
@@ -108,14 +109,83 @@ TEST(HistoryPersistenceTest, LegacyFileWithoutWorkersColumnLoads) {
   std::filesystem::remove(path);
 }
 
-TEST(HistoryPersistenceTest, MalformedRowIsIOError) {
+TEST(HistoryPersistenceTest, MalformedRowsAreQuarantinedNotFatal) {
+  // A corrupted row (partial write, manual edit) must not take down the
+  // rest of the history: well-formed rows load, the bad ones are counted
+  // in the quarantine note.
+  HistoryStore store;
+  store.Add(WorkerProfile("lj", 8, 2));
   const std::string path = TempPath("predict_history_malformed.csv");
+  ASSERT_TRUE(store.SaveToFile(path).ok());
   {
-    std::ofstream out(path);
-    out << "header\n";
+    std::ofstream out(path, std::ios::app);
     out << "pagerank,lj,1000,5000,0,1,2\n";  // too few fields
+    out << "garbage row\n";
   }
-  EXPECT_TRUE(HistoryStore::LoadFromFile(path).status().IsIOError());
+
+  std::string note;
+  auto loaded = HistoryStore::LoadFromFile(path, &note);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);  // the intact profile survived
+  EXPECT_EQ(loaded->TrainingRowsFor("pagerank").size(), 2u);
+  EXPECT_NE(note.find("quarantined 2 malformed history rows"),
+            std::string::npos)
+      << note;
+  EXPECT_NE(note.find("pagerank,lj,1000,5000,0,1,2"), std::string::npos);
+
+  // A clean file leaves the note empty.
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  note = "stale";
+  ASSERT_TRUE(HistoryStore::LoadFromFile(path, &note).ok());
+  EXPECT_TRUE(note.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(HistoryPersistenceTest, FailedSaveLeavesThePreviousFileIntact) {
+  // Crash-safety contract: SaveToFile writes a temp file and renames it
+  // into place, so a failure mid-save (injected at the history.save fail
+  // point, just before the rename) must leave the previous generation
+  // readable and no half-written temp file behind.
+  fail::DisableAll();
+  HistoryStore first;
+  first.Add(WorkerProfile("lj", 8, 2));
+  const std::string path = TempPath("predict_history_crashsafe.csv");
+  ASSERT_TRUE(first.SaveToFile(path).ok());
+
+  HistoryStore second;
+  second.Add(WorkerProfile("uk", 16, 3));
+  second.Add(WorkerProfile("tw", 32, 3));
+  ASSERT_TRUE(fail::Configure("history.save", "once:code=io").ok());
+  const Status failed = second.SaveToFile(path);
+  fail::DisableAll();
+  EXPECT_TRUE(failed.IsIOError());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  auto loaded = HistoryStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);  // still the first generation
+  EXPECT_EQ(loaded->profiles()[0].dataset, "lj");
+
+  // Without the fault the same save goes through.
+  ASSERT_TRUE(second.SaveToFile(path).ok());
+  auto reloaded = HistoryStore::LoadFromFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(HistoryPersistenceTest, LoadFailPointSurfacesAsTheLoadError) {
+  fail::DisableAll();
+  HistoryStore store;
+  store.Add(WorkerProfile("lj", 8, 1));
+  const std::string path = TempPath("predict_history_loadfault.csv");
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  ASSERT_TRUE(fail::Configure("history.load", "once:code=io").ok());
+  const auto loaded = HistoryStore::LoadFromFile(path);
+  fail::DisableAll();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+  EXPECT_NE(loaded.status().message().find("history.load"), std::string::npos);
   std::filesystem::remove(path);
 }
 

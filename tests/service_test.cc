@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/predictor.h"
 #include "graph/generators.h"
 #include "service/prediction_service.h"
@@ -274,6 +275,151 @@ TEST(PredictionServiceTest, BatchBitIdenticalToSequentialForAnyThreadCount) {
       }
     }
   }
+}
+
+// Cache hygiene under failure: a failed stage must never populate a
+// cache (no poisoning), and a failure observed by concurrent requests
+// must not latch — the next request for the same key re-attempts.
+class ServiceFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisableAll(); }
+  void TearDown() override { fail::DisableAll(); }
+};
+
+TEST_F(ServiceFailureTest, FailedProfileIsNotCachedAndTheNextRequestRetries) {
+  const Graph g = TestGraph(4000, 41);
+  PredictionService service(TestServiceOptions(0));
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  request.graph = &g;
+  request.dataset = "ds";
+  request.overrides = {{"tau", PageRankTau(g)}};
+
+  ASSERT_TRUE(fail::Configure("profile.run", "once").ok());
+  auto failed = service.Predict(request);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("profile.run"), std::string::npos);
+  EXPECT_EQ(service.cache_stats().profile_misses, 1u);
+
+  // The 'once' fault is consumed; the retry must recompute (a second
+  // miss, not a poisoned hit) and succeed.
+  auto retried = service.Predict(request);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(service.cache_stats().profile_misses, 2u);
+  EXPECT_EQ(service.cache_stats().profile_hits, 0u);
+  // The sample succeeded the first time and stayed cached.
+  EXPECT_EQ(service.cache_stats().sample_misses, 1u);
+  EXPECT_EQ(service.cache_stats().sample_hits, 1u);
+
+  // And the recovered artifact serves bit-identical full-quality reports.
+  auto direct = Predictor(TestPredictorOptions())
+                    .PredictRuntime("pagerank", g, "ds", request.overrides);
+  ASSERT_TRUE(direct.ok());
+  ExpectReportsIdentical(*retried, *direct);
+}
+
+TEST_F(ServiceFailureTest, FailedSampleIsNotCachedAndTheNextRequestRetries) {
+  const Graph g = TestGraph(4000, 42);
+  PredictionService service(TestServiceOptions(0));
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  request.graph = &g;
+  request.dataset = "ds";
+  request.overrides = {{"tau", PageRankTau(g)}};
+
+  ASSERT_TRUE(fail::Configure("sample.walk", "once").ok());
+  auto failed = service.Predict(request);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("sample.walk"), std::string::npos);
+  EXPECT_EQ(service.cache_stats().sample_misses, 1u);
+
+  auto retried = service.Predict(request);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(service.cache_stats().sample_misses, 2u);
+  EXPECT_EQ(service.cache_stats().sample_hits, 0u);
+  EXPECT_FALSE(retried->degradation.degraded());
+}
+
+TEST_F(ServiceFailureTest, PersistentFailuresNeverLatchAcrossABatch) {
+  // Every profile run fails for a whole concurrent batch (duplicate
+  // keys included); once the fault clears, the very same requests
+  // succeed — nothing was latched or poisoned in between.
+  const Graph g = TestGraph(4000, 43);
+  PredictionService service(TestServiceOptions(4));
+  std::vector<PredictionRequest> requests(6);
+  for (auto& request : requests) {
+    request.algorithm = "pagerank";
+    request.graph = &g;
+    request.dataset = "ds";
+    request.overrides = {{"tau", PageRankTau(g)}};
+  }
+
+  ASSERT_TRUE(fail::Configure("profile.run", "prob:1").ok());
+  for (const auto& result : service.PredictBatch(requests)) {
+    EXPECT_FALSE(result.ok());
+  }
+  const ServiceCacheStats after_failures = service.cache_stats();
+
+  fail::DisableAll();
+  for (const auto& result : service.PredictBatch(requests)) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->degradation.degraded());
+  }
+  // All six post-recovery requests were answered by one computation:
+  // exactly one more miss (the recomputation) and five joins/hits.
+  const ServiceCacheStats after_recovery = service.cache_stats();
+  EXPECT_EQ(after_recovery.profile_misses - after_failures.profile_misses, 1u);
+  EXPECT_EQ(after_recovery.profile_hits - after_failures.profile_hits, 5u);
+}
+
+TEST_F(ServiceFailureTest, DegradedAnswersDoNotPoisonTheFullQualityPath) {
+  // A request answered from the history-only rung must leave the caches
+  // exactly as a failure would: the next request (fault cleared) runs
+  // the full pipeline, not a cached degraded artifact.
+  const Graph g = TestGraph(4000, 44);
+  HistoryStore history;
+  for (uint32_t workers : {2u, 4u}) {
+    RunProfile profile;
+    profile.algorithm = "pagerank";
+    profile.dataset = "hist" + std::to_string(workers);
+    profile.num_vertices = 1000;
+    profile.num_edges = 5000;
+    profile.num_workers = workers;
+    IterationProfile it;
+    it.iteration = 0;
+    it.critical_features[0] = 10.0;
+    it.runtime_seconds = 1.0 + 4.0 / workers;
+    profile.iterations.push_back(it);
+    profile.iterations.push_back(it);
+    history.Add(profile);
+  }
+  PredictionServiceOptions options = TestServiceOptions(0);
+  options.predictor.history = &history;
+  options.predictor.robustness.degraded_fallbacks = true;
+  PredictionService service(options);
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  request.graph = &g;
+  request.dataset = "ds";
+  request.overrides = {{"tau", PageRankTau(g)}};
+
+  ASSERT_TRUE(fail::Configure("profile.run", "prob:1").ok());
+  auto degraded = service.Predict(request);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->degradation.rung, DegradationRung::kHistoryOnly);
+  EXPECT_EQ(service.cache_stats().history_only_fallbacks, 1u);
+
+  fail::DisableAll();
+  auto full = service.Predict(request);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->degradation.degraded());
+  // Full-quality recovery matches the uncached Predictor bit for bit.
+  PredictorOptions plain = TestPredictorOptions();
+  plain.history = &history;
+  auto direct = Predictor(plain).PredictRuntime("pagerank", g, "ds",
+                                                request.overrides);
+  ASSERT_TRUE(direct.ok());
+  ExpectReportsIdentical(*full, *direct);
 }
 
 }  // namespace

@@ -27,6 +27,10 @@
 // [--partition hash|range|edge] — --scenario picks a registry deployment,
 // the others override it.
 //
+// Robustness flags (predict/batch): [--failpoints name=spec;...]
+// [--retries N] [--deadline S] [--degraded]; batch adds [--fail-fast]
+// (stop at the first failed cell instead of answering them all).
+//
 // Graph files: edge-list text ("src dst [weight]") or PRDG binary.
 
 #include <algorithm>
@@ -44,6 +48,8 @@
 #include "algorithms/runner.h"
 #include "bsp/scenario.h"
 #include "bsp/thread_pool.h"
+#include "common/failpoint.h"
+#include "common/retry.h"
 #include "common/strings.h"
 #include "core/bounds.h"
 #include "core/history.h"
@@ -84,7 +90,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       arg = arg.substr(0, eq);
     } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
       value = argv[++i];
-    } else if (arg != "verify" && arg != "list") {
+    } else if (arg != "verify" && arg != "list" && arg != "degraded" &&
+               arg != "fail-fast") {
       flags.ok = false;
       flags.error = "flag --" + arg + " needs a value";
       return flags;
@@ -187,6 +194,35 @@ Status ParseSamplerFlags(const Flags& flags, SamplerOptions* options) {
                            ParseDoubleFlag(flags, "ratio", 0.1));
   PREDICT_ASSIGN_OR_RETURN(options->seed, ParseUint64Flag(flags, "seed", 42));
   return Status::OK();
+}
+
+/// The robustness flag set shared by predict/batch: --failpoints SPEC
+/// arms fault-injection sites ("name=spec;name=spec"; see
+/// common/failpoint.h), --retries N retries each failed stage up to N
+/// more times, --deadline S bounds the whole request, --degraded enables
+/// the degradation ladder (stale profile / history-only) instead of
+/// failing the request.
+Status ParseRobustnessFlags(const Flags& flags, PredictorOptions* options) {
+  const std::string failpoints = GetFlag(flags, "failpoints");
+  if (!failpoints.empty()) {
+    PREDICT_RETURN_NOT_OK(fail::ConfigureFromString(failpoints));
+  }
+  PREDICT_ASSIGN_OR_RETURN(const long long retries,
+                           ParseIntegerFlag(flags, "retries", 0, 0, 100));
+  options->robustness.retry.max_attempts = static_cast<int>(retries) + 1;
+  PREDICT_ASSIGN_OR_RETURN(options->robustness.deadline_seconds,
+                           ParseDoubleFlag(flags, "deadline", 0.0));
+  options->robustness.degraded_fallbacks = flags.values.count("degraded") != 0;
+  return Status::OK();
+}
+
+/// Loads a history file, surfacing (not hiding) its quarantine note.
+Result<HistoryStore> LoadHistoryFile(const std::string& path) {
+  std::string note;
+  PREDICT_ASSIGN_OR_RETURN(HistoryStore store,
+                           HistoryStore::LoadFromFile(path, &note));
+  if (!note.empty()) std::fprintf(stderr, "warning: %s\n", note.c_str());
+  return store;
 }
 
 Result<AlgorithmConfig> ParseConfigPairs(const std::vector<std::string>& pairs) {
@@ -386,11 +422,13 @@ int CmdPredict(const Flags& flags) {
   if (!sampler_flags.ok()) return FlagError(sampler_flags);
   if (!engine.ok()) return FlagError(engine.status());
   options.engine = *engine;
+  const Status robustness_flags = ParseRobustnessFlags(flags, &options);
+  if (!robustness_flags.ok()) return FlagError(robustness_flags);
 
   std::unique_ptr<HistoryStore> history;
   const std::string history_file = GetFlag(flags, "history");
   if (!history_file.empty()) {
-    auto loaded = HistoryStore::LoadFromFile(history_file);
+    auto loaded = LoadHistoryFile(history_file);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
@@ -413,6 +451,17 @@ int CmdPredict(const Flags& flags) {
               graph->ToString().c_str(),
               SamplerKindName(options.sampler.kind),
               report->realized_sampling_ratio);
+  if (report->degradation.degraded()) {
+    std::printf("  DEGRADED:             %s (%s)\n",
+                DegradationRungName(report->degradation.rung),
+                report->degradation.cause.c_str());
+  }
+  if (report->accounting.total_attempts() > 0 &&
+      options.robustness.retry.max_attempts > 1) {
+    std::printf("  attempts:             %d (%.3fs backoff)\n",
+                report->accounting.total_attempts(),
+                report->accounting.total_backoff_seconds());
+  }
   std::printf("  transform:            %s\n",
               report->transform_description.c_str());
   std::printf("  predicted iterations: %d\n", report->predicted_iterations);
@@ -510,11 +559,14 @@ int CmdBatch(const Flags& flags) {
   // from per-run simulation threads.
   options.predictor.engine.num_threads = 0;
   options.num_threads = static_cast<int>(*threads);
+  const Status robustness_flags =
+      ParseRobustnessFlags(flags, &options.predictor);
+  if (!robustness_flags.ok()) return FlagError(robustness_flags);
 
   std::unique_ptr<HistoryStore> history;
   const std::string history_file = GetFlag(flags, "history");
   if (!history_file.empty()) {
-    auto loaded = HistoryStore::LoadFromFile(history_file);
+    auto loaded = LoadHistoryFile(history_file);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
@@ -535,7 +587,25 @@ int CmdBatch(const Flags& flags) {
     }
   }
 
-  const auto results = service.PredictBatch(requests);
+  // --fail-fast runs the cells sequentially and stops at the first
+  // failed one (later cells are not attempted); the default answers
+  // every cell and reports the failures at the end. Either way a batch
+  // with any failed cell exits nonzero.
+  const bool fail_fast = flags.values.count("fail-fast") != 0;
+  std::vector<Result<PredictionReport>> results;
+  size_t attempted = requests.size();
+  if (fail_fast) {
+    results.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results.push_back(service.Predict(requests[i]));
+      if (!results.back().ok()) {
+        attempted = i + 1;
+        break;
+      }
+    }
+  } else {
+    results = service.PredictBatch(requests);
+  }
 
   std::printf("%-22s %-8s %6s %14s %8s %8s\n", "algorithm", "dataset", "iters",
               "predicted", "R2", "ratio");
@@ -549,11 +619,16 @@ int CmdBatch(const Flags& flags) {
       continue;
     }
     const PredictionReport& report = *results[i];
-    std::printf("%-22s %-8s %6d %14s %8.3f %8.3f\n",
+    std::printf("%-22s %-8s %6d %14s %8.3f %8.3f%s\n",
                 requests[i].algorithm.c_str(), requests[i].dataset.c_str(),
                 report.predicted_iterations,
                 FormatSeconds(report.predicted_superstep_seconds).c_str(),
-                report.cost_model.r_squared(), report.realized_sampling_ratio);
+                report.cost_model.r_squared(), report.realized_sampling_ratio,
+                report.degradation.degraded() ? "  [degraded]" : "");
+  }
+  if (fail_fast && attempted < requests.size()) {
+    std::printf("fail-fast: stopped after %zu of %zu cells\n", attempted,
+                requests.size());
   }
   const ServiceCacheStats stats = service.cache_stats();
   std::printf("\n%zu requests; sample cache %llu hits / %llu misses, profile "
@@ -719,7 +794,7 @@ int CmdHistory(const Flags& flags) {
     std::fprintf(stderr, "history needs --file FILE\n");
     return 2;
   }
-  auto loaded = HistoryStore::LoadFromFile(file);
+  auto loaded = LoadHistoryFile(file);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
@@ -818,6 +893,9 @@ int Usage() {
       "             [--config k=v]... [--history F] [--verify] [--save-history F]\n"
       "  batch      --algorithms A,B,... --datasets N1,N2,... [--ratio R]\n"
       "             [--threads T] [--workers N] [--scale S] [--history F]\n"
+      "             [--fail-fast]\n"
+      "robustness flags (predict/batch): [--failpoints name=spec;...]\n"
+      "             [--retries N] [--deadline S] [--degraded]\n"
       "  scenarios  list built-in cluster scenarios\n"
       "  whatif     --algorithm A (--dataset N | --graph F)\n"
       "             [--scenarios S1,S2,...|all] [--sla SECONDS]\n"
