@@ -7,6 +7,9 @@
 
 #include <map>
 
+#include <cstdint>
+#include <vector>
+
 #include "algorithms/connected_components.h"
 #include "algorithms/pagerank.h"
 #include "bsp/partition.h"
@@ -16,6 +19,7 @@
 #include "graph/generators.h"
 #include "graph/stats.h"
 #include "graph/transforms.h"
+#include "graph/varint.h"
 #include "sampling/sampler.h"
 
 namespace {
@@ -232,6 +236,67 @@ BENCHMARK(BM_SparseActivation)
     ->Arg(1 << 16)
     ->Arg(1 << 20)
     ->Unit(benchmark::kMillisecond);
+
+// BM_SparseActivation's counterpart: a fully-active PageRank workload
+// where every vertex computes and messages every superstep — the regime
+// the dense flat-array path exists for. Arg pins the path (0 = sparse
+// worklist, 1 = dense). Results are bit-identical either way; only the
+// host wall clock moves, and bench/rmat_scale_gate.cc gates the ratio.
+void BM_DenseSuperstep(benchmark::State& state) {
+  bsp::EngineOptions options;
+  options.num_workers = 29;
+  options.num_threads = 0;
+  options.max_supersteps = 3;
+  options.superstep_path = state.range(0) == 0 ? bsp::SuperstepPath::kSparse
+                                               : bsp::SuperstepPath::kDense;
+  for (auto _ : state) {
+    auto result = RunPageRank(BenchGraph(), {{"tau", 0.0}}, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          static_cast<int64_t>(BenchGraph().num_edges()));
+}
+BENCHMARK(BM_DenseSuperstep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- varint codec
+
+// Encode throughput over the bench graph's adjacency lists, reported as
+// bytes/s of PLAIN input consumed (so encode and decode rates compare
+// against the same denominator: the flat 4-byte CSR representation).
+void BM_VarintEncode(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(g.num_edges()) * 2);
+  for (auto _ : state) {
+    out.clear();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      uint32_t prev = 0;
+      varint::AppendDeltaList(g.out_neighbors(v), &prev, &out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()) * 4);
+}
+BENCHMARK(BM_VarintEncode)->Unit(benchmark::kMillisecond);
+
+// Decode throughput via the engine-facing accessor (block-wise
+// DecodeDeltaBlock under ForEachOutNeighbor), same plain-bytes
+// denominator as BM_VarintEncode.
+void BM_VarintDecode(benchmark::State& state) {
+  static const Graph& compressed =
+      *new Graph(Graph::WithCompressedEdges(BenchGraph()));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (VertexId v = 0; v < compressed.num_vertices(); ++v) {
+      compressed.ForEachOutNeighbor(v, [&](VertexId u) { sink += u; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(compressed.num_edges()) * 4);
+}
+BENCHMARK(BM_VarintDecode)->Unit(benchmark::kMillisecond);
 
 void BM_ForwardSelection(benchmark::State& state) {
   Rng rng(9);

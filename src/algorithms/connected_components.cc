@@ -46,7 +46,11 @@ Result<ConnectedComponentsResult> RunConnectedComponents(
     const Graph& graph, const bsp::EngineOptions& engine_options) {
   PREDICT_ASSIGN_OR_RETURN(Graph undirected, ToUndirected(graph));
   ConnectedComponentsProgram program;
-  bsp::Engine<ComponentValue, VertexId> engine(engine_options);
+  // The engine runs on the derived undirected graph, which transforms
+  // always emit plain — the flag follows it, not the input (pagerank.cc).
+  bsp::EngineOptions options = engine_options;
+  options.compressed_graph = undirected.edges_compressed();
+  bsp::Engine<ComponentValue, VertexId> engine(options);
   PREDICT_ASSIGN_OR_RETURN(bsp::RunStats stats, engine.Run(undirected, &program));
   ConnectedComponentsResult result;
   result.stats = std::move(stats);

@@ -30,7 +30,7 @@ struct ComponentValue {
 
 /// Min-label propagation vertex program. Expects an undirected graph
 /// (use ToUndirected first; the runner does this automatically).
-class ConnectedComponentsProgram
+class ConnectedComponentsProgram final
     : public bsp::VertexProgram<ComponentValue, VertexId> {
  public:
   ComponentValue InitialValue(VertexId v, const Graph& graph) const override;
@@ -46,6 +46,7 @@ class ConnectedComponentsProgram
     (void)value;
     return 8;
   }
+  uint64_t FixedVertexStateBytes() const override { return 8; }
 };
 
 /// Result of a standalone run: per-vertex component labels.

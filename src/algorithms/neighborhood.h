@@ -38,7 +38,7 @@ struct NeighborhoodValue {
 
 using NeighborhoodMessage = NeighborhoodValue;
 
-class NeighborhoodProgram
+class NeighborhoodProgram final
     : public bsp::VertexProgram<NeighborhoodValue, NeighborhoodMessage> {
  public:
   explicit NeighborhoodProgram(const AlgorithmConfig& config,
@@ -57,6 +57,9 @@ class NeighborhoodProgram
   }
   uint64_t VertexStateBytes(const NeighborhoodValue& value) const override {
     (void)value;
+    return 8 + 4 * kNeighborhoodRegisters;
+  }
+  uint64_t FixedVertexStateBytes() const override {
     return 8 + 4 * kNeighborhoodRegisters;
   }
 

@@ -38,9 +38,11 @@ void PageRankProgram::Compute(bsp::VertexContext<PageRankValue, double>* ctx,
   if (ctx->superstep() > 0) {
     double sum = 0.0;
     for (const double m : messages) sum += m;
-    const double next =
-        (1.0 - damping_) / static_cast<double>(ctx->num_vertices()) +
-        damping_ * sum;
+    // base_ = (1 - d) / |V|, computed once per superstep in MasterCompute
+    // (the compute phases only read it) — the per-vertex divide is the
+    // kernel's hottest scalar op and the `double` state writes alias the
+    // `double` members under TBAA, so the compiler cannot hoist it.
+    const double next = base_ + damping_ * sum;
     ctx->Aggregate(delta_agg_, std::abs(next - rank));
     rank = next;
   }
@@ -52,6 +54,11 @@ void PageRankProgram::Compute(bsp::VertexContext<PageRankValue, double>* ctx,
 }
 
 void PageRankProgram::MasterCompute(bsp::MasterContext* ctx) {
+  // Runs single-threaded between compute phases: superstep S+1's vertices
+  // read what superstep S's master wrote, never concurrently. Superstep
+  // 0's Compute skips the rank update, so a pre-run value is not needed.
+  base_ = (1.0 - damping_) /
+          static_cast<double>(ctx->num_vertices());
   if (ctx->superstep() == 0 || tau_ <= 0.0) return;
   const double avg_delta =
       ctx->GetAggregate(delta_agg_) / static_cast<double>(ctx->num_vertices());
@@ -64,7 +71,15 @@ Result<PageRankResult> RunPageRank(const Graph& graph,
   PREDICT_ASSIGN_OR_RETURN(AlgorithmConfig config,
                            ResolveConfig(PageRankSpec(), overrides));
   PageRankProgram program(config);
-  bsp::Engine<PageRankValue, double> engine(engine_options);
+  // Each Run* owns the compressed_graph flag for the graph it actually
+  // hands the engine: callers describe the INPUT graph, but algorithms
+  // that transform first (connected components, semi-clustering,
+  // neighborhood) run on a plain derived graph regardless of the input's
+  // representation. The engine's strict flag==representation check still
+  // guards direct Engine users.
+  bsp::EngineOptions options = engine_options;
+  options.compressed_graph = graph.edges_compressed();
+  bsp::Engine<PageRankValue, double> engine(options);
   PREDICT_ASSIGN_OR_RETURN(bsp::RunStats stats, engine.Run(graph, &program));
   PageRankResult result;
   result.stats = std::move(stats);

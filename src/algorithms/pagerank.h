@@ -33,7 +33,8 @@ struct PageRankValue {
 };
 
 /// \brief The Giraph-style PageRank vertex program.
-class PageRankProgram : public bsp::VertexProgram<PageRankValue, double> {
+class PageRankProgram final
+    : public bsp::VertexProgram<PageRankValue, double> {
  public:
   explicit PageRankProgram(const AlgorithmConfig& config);
 
@@ -52,6 +53,7 @@ class PageRankProgram : public bsp::VertexProgram<PageRankValue, double> {
     (void)value;
     return 16;
   }
+  uint64_t FixedVertexStateBytes() const override { return 16; }
 
   /// Name of the average-delta aggregate (exposed in SuperstepStats).
   static constexpr const char* kDeltaAggregate = "pagerank_delta_sum";
@@ -59,6 +61,9 @@ class PageRankProgram : public bsp::VertexProgram<PageRankValue, double> {
  private:
   double damping_;
   double tau_;
+  /// (1 - damping) / |V|, refreshed by MasterCompute each superstep so
+  /// the per-vertex kernel avoids the divide (see Compute).
+  double base_ = 0.0;
   bsp::AggregatorId delta_agg_ = 0;
 };
 

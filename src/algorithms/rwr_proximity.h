@@ -35,7 +35,8 @@ struct RwrValue {
   double score = 0.0;
 };
 
-class RwrProximityProgram : public bsp::VertexProgram<RwrValue, double> {
+class RwrProximityProgram final
+    : public bsp::VertexProgram<RwrValue, double> {
  public:
   RwrProximityProgram(const AlgorithmConfig& config, VertexId source);
 
@@ -47,6 +48,7 @@ class RwrProximityProgram : public bsp::VertexProgram<RwrValue, double> {
 
   uint64_t MessageBytes(const double&) const override { return 12; }
   uint64_t VertexStateBytes(const RwrValue&) const override { return 16; }
+  uint64_t FixedVertexStateBytes() const override { return 16; }
 
   static constexpr const char* kDeltaAggregate = "rwr_delta_sum";
 

@@ -110,11 +110,10 @@ SemiClusterValue SemiClusteringProgram::InitialValue(VertexId v,
   cluster.members = {v};
   cluster.internal_weight = 0.0;
   double boundary = 0.0;
-  const auto neighbors = graph.out_neighbors(v);
   if (graph.is_weighted()) {
     for (const float w : graph.out_weights(v)) boundary += w;
   } else {
-    boundary = static_cast<double>(neighbors.size());
+    boundary = static_cast<double>(graph.out_degree(v));
   }
   cluster.boundary_weight = boundary;
   return {{std::move(cluster)}};
@@ -228,7 +227,11 @@ Result<SemiClusteringResult> RunSemiClustering(
                            ResolveConfig(SemiClusteringSpec(), overrides));
   PREDICT_ASSIGN_OR_RETURN(Graph undirected, ToUndirected(graph));
   SemiClusteringProgram program(config);
-  bsp::Engine<SemiClusterValue, SemiClusterMessage> engine(engine_options);
+  // The flag follows the derived undirected graph, not the input
+  // (see pagerank.cc).
+  bsp::EngineOptions options = engine_options;
+  options.compressed_graph = undirected.edges_compressed();
+  bsp::Engine<SemiClusterValue, SemiClusterMessage> engine(options);
   PREDICT_ASSIGN_OR_RETURN(bsp::RunStats stats, engine.Run(undirected, &program));
   SemiClusteringResult result;
   result.stats = std::move(stats);

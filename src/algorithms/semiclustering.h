@@ -58,7 +58,7 @@ struct SemiClusterMessage {
   std::shared_ptr<const std::vector<SemiCluster>> clusters;
 };
 
-class SemiClusteringProgram
+class SemiClusteringProgram final
     : public bsp::VertexProgram<SemiClusterValue, SemiClusterMessage> {
  public:
   explicit SemiClusteringProgram(const AlgorithmConfig& config);

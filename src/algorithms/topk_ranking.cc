@@ -120,7 +120,10 @@ Result<TopKResult> RunTopKRanking(const Graph& graph,
   }
 
   TopKRankingProgram program(config, ranks);
-  bsp::Engine<TopKValue, TopKMessage> engine(engine_options);
+  // The flag describes the graph the engine sees (see pagerank.cc).
+  bsp::EngineOptions options = engine_options;
+  options.compressed_graph = graph.edges_compressed();
+  bsp::Engine<TopKValue, TopKMessage> engine(options);
   PREDICT_ASSIGN_OR_RETURN(bsp::RunStats stats, engine.Run(graph, &program));
   TopKResult result;
   result.stats = std::move(stats);

@@ -53,7 +53,8 @@ struct TopKMessage {
   std::shared_ptr<const std::vector<RankEntry>> entries;
 };
 
-class TopKRankingProgram : public bsp::VertexProgram<TopKValue, TopKMessage> {
+class TopKRankingProgram final
+    : public bsp::VertexProgram<TopKValue, TopKMessage> {
  public:
   /// `ranks` are the input PageRank values, one per vertex.
   TopKRankingProgram(const AlgorithmConfig& config,

@@ -58,6 +58,19 @@ struct SuperstepStats {
   std::map<std::string, double> aggregates;
   /// Simulated memory in use at the superstep barrier (state + buffers).
   uint64_t memory_bytes = 0;
+  /// True if this superstep ran on the dense per-vertex-slot path instead
+  /// of the worklist/mailbox-sort path (engine.h SuperstepPath). Purely
+  /// observational: both paths produce bit-identical results and
+  /// identical simulated costs; the flag exists so the cost model and
+  /// `predict_cli run` can see which path executed.
+  bool dense_path = false;
+  /// Host wall-clock cost of this superstep (compute + barrier phases).
+  /// Like RunStats::wall_seconds this is host profiling output, NOT part
+  /// of the simulated-determinism contract — it varies run to run and is
+  /// excluded from every result fingerprint. bench/rmat_scale_gate.cc
+  /// uses it to compare per-superstep throughput of the two paths with
+  /// per-superstep granularity (robust statistics over noisy hosts).
+  double host_seconds = 0.0;
 
   /// Sum of the per-worker counters.
   WorkerCounters Totals() const;

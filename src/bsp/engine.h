@@ -27,6 +27,7 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,41 @@
 #include "graph/graph.h"
 
 namespace predict::bsp {
+
+/// How a superstep discovers the vertices it must compute and sorts
+/// incoming messages. The two execution paths are bit-identical in
+/// results, counters, and simulated time — they differ only in host
+/// wall-clock cost:
+///
+///   * sparse: explicit worklists + messaged-vertex discovery/sort at the
+///     barrier. O(active + messaged) per superstep; wins when a small
+///     fraction of vertices is live (convergence tails).
+///   * dense: flat per-vertex slots indexed by local id — no worklist, no
+///     bucket discovery, no sort, no offsets build beyond one flat prefix
+///     pass. O(owned + messages) per superstep; wins when (nearly) every
+///     vertex is live (PageRank's steady state).
+///
+/// kAdaptive picks per superstep from the previous superstep's survivor
+/// and message counts (the direction-optimizing idea of PR 4's BFS,
+/// generalized to the engine); the choice taken is recorded in
+/// SuperstepStats::dense_path.
+enum class SuperstepPath {
+  kAdaptive = 0,
+  kSparse = 1,
+  kDense = 2,
+};
+
+inline const char* SuperstepPathName(SuperstepPath path) {
+  switch (path) {
+    case SuperstepPath::kAdaptive:
+      return "adaptive";
+    case SuperstepPath::kSparse:
+      return "sparse";
+    case SuperstepPath::kDense:
+      return "dense";
+  }
+  return "unknown";
+}
 
 /// Configuration of one BSP job. Matches the paper's assumption (iii)
 /// that sample runs and actual runs share the execution framework and
@@ -68,6 +104,23 @@ struct EngineOptions {
   /// behaviour described in §5 "Memory Limits".
   uint64_t memory_budget_bytes = 0;
 
+  /// Superstep execution-path policy (see SuperstepPath). kAdaptive
+  /// switches per superstep; kSparse/kDense pin one path (used by the
+  /// equivalence gates and the micro benches).
+  SuperstepPath superstep_path = SuperstepPath::kAdaptive;
+
+  /// kAdaptive goes dense for superstep S+1 when superstep S's
+  /// survivors + messages reach this fraction of |V|. Tuned by
+  /// bench/micro_substrate.cc (BM_DenseSuperstep vs BM_SparseActivation);
+  /// the choice never affects results, only host wall clock.
+  double dense_path_threshold = 0.6;
+
+  /// Must match Graph::edges_compressed() of the input graph — the
+  /// engine rejects a mismatch rather than silently running a config
+  /// whose cache key (EngineOptionsKey) disagrees with the graph
+  /// representation actually executed.
+  bool compressed_graph = false;
+
   CostProfile cost_profile;
 };
 
@@ -91,15 +144,24 @@ class EngineState {
         pool_(pool),
         num_workers_(options.num_workers) {}
 
-  Result<RunStats> Run();
+  /// `Program` is the concrete program type when the caller has one —
+  /// marking the class `final` lets the compiler devirtualize and inline
+  /// Compute into the superstep loop (all in-tree algorithms do).
+  /// Calling through the VertexProgram<V, M> base keeps today's virtual
+  /// dispatch; results are identical either way.
+  template <typename Program>
+  Result<RunStats> Run(Program* program);
 
   std::vector<V>& values() { return values_; }
 
  private:
   friend class VertexContext<V, M>;
 
-  void ComputeWorker(WorkerId w);
-  void BarrierForWorker(WorkerId w);
+  template <typename Program>
+  void ComputeWorker(WorkerId w, Program* program);
+  template <typename Program>
+  void ComputeWorkerDense(WorkerId w, Program* program);
+  bool NextSuperstepDense(uint64_t survivors, uint64_t messages) const;
 
   const Graph* graph_;
   VertexProgram<V, M>* program_;
@@ -119,6 +181,15 @@ class EngineState {
   /// (VertexContext::value() marks the write) instead of re-walking all
   /// owned vertices at every barrier.
   std::vector<uint64_t> state_bytes_;
+  /// Cached FixedVertexStateBytes() of the program; non-zero short-
+  /// circuits the dirty tracking in VertexContext::value().
+  uint64_t fixed_state_bytes_ = 0;
+  /// Survivor counts of the last dense-path compute phase (the dense
+  /// path maintains no survivor lists; see worklist.h RebuildFromFlags).
+  std::vector<uint64_t> dense_survivors_;
+  /// Per-worker adjacency decode buffers backing VertexContext::
+  /// out_neighbors() on compressed graphs (plain graphs bypass them).
+  std::vector<std::vector<VertexId>> out_scratch_;
 
   std::vector<AggregatorOp> agg_ops_;
   std::vector<std::string> agg_names_;
@@ -128,41 +199,104 @@ class EngineState {
 };
 
 template <typename V, typename M>
-void EngineState<V, M>::ComputeWorker(WorkerId w) {
+template <typename Program>
+void EngineState<V, M>::ComputeWorker(WorkerId w, Program* program) {
   WorkerCounters& counters = counters_[w];
   WorkerWorklist& worklist = worklists_[w];
   worklist.BeginSuperstep();
   // Worklist membership == active or messaged, so every entry computes.
   counters.active_vertices += worklist.current().size();
   for (const VertexId vid : worklist.current()) {
-    active_[vid] = 1;  // receipt of a message reactivates (Pregel rule)
+    // Receipt of a message reactivates (Pregel rule). Write-avoid: in
+    // steady state most computed vertices are already active, and the
+    // skipped store keeps their cache lines clean.
+    if (active_[vid] == 0) active_[vid] = 1;
     VertexContext<V, M> ctx(this, w, vid);
-    program_->Compute(&ctx, messages_.MessagesFor(w, vid));
+    program->Compute(&ctx, messages_.MessagesFor(w, vid));
     if (ctx.value_dirty_) {
       // ctx captured the pre-write size at the program's first mutable
       // value() access; unsigned wrap-around keeps negative deltas exact.
       state_bytes_[w] +=
-          program_->VertexStateBytes(values_[vid]) - ctx.pre_state_bytes_;
+          program->VertexStateBytes(values_[vid]) - ctx.pre_state_bytes_;
     }
     if (active_[vid]) worklist.AddSurvivor(vid);
   }
 }
 
+// Dense-path compute: no worklist — every owned vertex is visited in
+// ascending order (one running local index, no partition lookups) and
+// computes iff it is active or has an inbox. That predicate selects
+// exactly the sparse worklist's membership (survivors ∪ messaged: a
+// vertex outside its worklist always has active_[v] == 0, and a stamped
+// non-empty slab entry == membership in `messaged`), in the same
+// ascending order, so Compute sees identical (vertex, inbox) sequences
+// and every counter, aggregate, and value write is bit-identical to the
+// sparse path.
 template <typename V, typename M>
-void EngineState<V, M>::BarrierForWorker(WorkerId w) {
-  WorkerWorklist& worklist = worklists_[w];
-  messages_.BuildIncomingSlab(w, worklist.messaged());
-  worklist.Rebuild();
+template <typename Program>
+void EngineState<V, M>::ComputeWorkerDense(WorkerId w, Program* program) {
+  WorkerCounters& counters = counters_[w];
+  uint64_t computed = 0;
+  uint64_t survivors = 0;
+  uint32_t local = 0;
+  partition_.ForEachOwned(w, [&](VertexId vid) {
+    const uint32_t l = local++;
+    const std::span<const M> inbox = messages_.MessagesForLocal(w, l);
+    if (active_[vid] == 0) {
+      if (inbox.empty()) return;
+      active_[vid] = 1;  // receipt of a message reactivates (Pregel rule)
+    }
+    ++computed;
+    VertexContext<V, M> ctx(this, w, vid);
+    program->Compute(&ctx, inbox);
+    if (ctx.value_dirty_) {
+      state_bytes_[w] +=
+          program->VertexStateBytes(values_[vid]) - ctx.pre_state_bytes_;
+    }
+    survivors += active_[vid];
+  });
+  counters.active_vertices += computed;
+  dense_survivors_[w] = survivors;
 }
 
 template <typename V, typename M>
-Result<RunStats> EngineState<V, M>::Run() {
+bool EngineState<V, M>::NextSuperstepDense(uint64_t survivors,
+                                           uint64_t messages) const {
+  switch (options_.superstep_path) {
+    case SuperstepPath::kSparse:
+      return false;
+    case SuperstepPath::kDense:
+      return true;
+    case SuperstepPath::kAdaptive:
+      break;
+  }
+  // survivors + messages upper-bounds the next worklist size (messages
+  // may repeat a target or hit a survivor, both of which only overshoot
+  // towards dense — which is the cheap mistake: the dense path degrades
+  // to O(owned) while the sparse path degrades to a full sort).
+  return static_cast<double>(survivors) + static_cast<double>(messages) >=
+         options_.dense_path_threshold * static_cast<double>(graph_->num_vertices());
+}
+
+template <typename V, typename M>
+template <typename Program>
+Result<RunStats> EngineState<V, M>::Run(Program* program) {
   const auto wall_start = std::chrono::steady_clock::now();
   const uint64_t n = graph_->num_vertices();
   if (n == 0) return Status::InvalidArgument("empty graph");
   if (num_workers_ == 0) return Status::InvalidArgument("num_workers == 0");
   if (options_.max_supersteps <= 0) {
     return Status::InvalidArgument("max_supersteps must be positive");
+  }
+  if (options_.compressed_graph != graph_->edges_compressed()) {
+    // A silent mismatch would run a representation the cache key
+    // (scenario EngineOptionsKey) does not describe; fail loudly instead.
+    return Status::InvalidArgument(
+        options_.compressed_graph
+            ? "EngineOptions.compressed_graph is set but the input graph "
+              "stores plain edges"
+            : "input graph stores compressed edges but "
+              "EngineOptions.compressed_graph is unset");
   }
 
   // Partition the vertex space ("the read phase assigns partitions").
@@ -197,14 +331,18 @@ Result<RunStats> EngineState<V, M>::Run() {
   worklists_.clear();
   worklists_.resize(num_workers_);
   state_bytes_.assign(num_workers_, 0);
+  dense_survivors_.assign(num_workers_, 0);
+  out_scratch_.assign(num_workers_, {});
   counters_.assign(num_workers_, WorkerCounters{});
   agg_partial_.assign(num_workers_, {});
+  fixed_state_bytes_ = program->FixedVertexStateBytes();
   pool_->ParallelFor(num_workers_, [&](uint64_t w) {
     worklists_[w].SeedAllOwned(static_cast<WorkerId>(w), partition_);
     uint64_t bytes = 0;
     partition_.ForEachOwned(static_cast<WorkerId>(w), [&](VertexId v) {
-      values_[v] = program_->InitialValue(v, *graph_);
-      bytes += program_->VertexStateBytes(values_[v]);
+      values_[v] = program->InitialValue(v, *graph_);
+      bytes += fixed_state_bytes_ != 0 ? fixed_state_bytes_
+                                       : program->VertexStateBytes(values_[v]);
     });
     state_bytes_[w] = bytes;
   });
@@ -212,7 +350,12 @@ Result<RunStats> EngineState<V, M>::Run() {
   const uint64_t graph_bytes = graph_->MemoryFootprintBytes();
   HaltReason halt_reason = HaltReason::kMaxSupersteps;
 
+  // Everything is active at superstep 0, so kAdaptive starts dense (the
+  // decision rule sees survivors = |V|, messages = 0).
+  bool dense_now = NextSuperstepDense(n, 0);
+
   for (superstep_ = 0; superstep_ < options_.max_supersteps; ++superstep_) {
+    const auto superstep_start = std::chrono::steady_clock::now();
     // Reset per-superstep accounting.
     for (WorkerId w = 0; w < num_workers_; ++w) {
       counters_[w] = WorkerCounters{};
@@ -224,8 +367,13 @@ Result<RunStats> EngineState<V, M>::Run() {
     }
 
     // Compute phase (concurrent across workers).
-    pool_->ParallelFor(num_workers_,
-                       [&](uint64_t w) { ComputeWorker(static_cast<WorkerId>(w)); });
+    pool_->ParallelFor(num_workers_, [&](uint64_t w) {
+      if (dense_now) {
+        ComputeWorkerDense(static_cast<WorkerId>(w), program);
+      } else {
+        ComputeWorker(static_cast<WorkerId>(w), program);
+      }
+    });
 
     // Reduce aggregators deterministically in worker order.
     for (size_t i = 0; i < agg_ops_.size(); ++i) {
@@ -236,15 +384,51 @@ Result<RunStats> EngineState<V, M>::Run() {
       agg_reduced_[i] = value;
     }
 
-    // Messaging phase: bucket-sort outboxes into each worker's incoming
-    // slab and rebuild the next worklists (active ∪ messaged).
-    pool_->ParallelFor(num_workers_,
-                       [&](uint64_t w) { BarrierForWorker(static_cast<WorkerId>(w)); });
+    // Post-compute census: survivors (the dense path tallies them per
+    // worker; the sparse path keeps explicit lists) and messages sent,
+    // which drive both the halting checks and the next path decision.
+    uint64_t active_count = 0;
+    if (dense_now) {
+      for (const uint64_t s : dense_survivors_) active_count += s;
+    } else {
+      for (const WorkerWorklist& worklist : worklists_) {
+        active_count += worklist.num_survivors();
+      }
+    }
+    uint64_t messages_sent = 0;
+    for (const WorkerCounters& c : counters_) {
+      messages_sent += c.total_messages();
+    }
+    const bool next_dense = NextSuperstepDense(active_count, messages_sent);
+
+    // Messaging phase: sort outboxes into each worker's incoming slab,
+    // shaped for whichever path the NEXT superstep runs. The dense build
+    // skips messaged-vertex discovery and the worklist entirely; the
+    // sparse build additionally rebuilds the worklist (from survivor
+    // lists, or from the active flags when this superstep ran dense).
+    pool_->ParallelFor(num_workers_, [&](uint64_t w64) {
+      const WorkerId w = static_cast<WorkerId>(w64);
+      if (next_dense) {
+        messages_.BuildIncomingSlabDense(w);
+        return;
+      }
+      WorkerWorklist& worklist = worklists_[w];
+      messages_.BuildIncomingSlab(w, worklist.messaged());
+      if (dense_now) {
+        worklist.RebuildFromFlags(w, partition_, active_.data());
+      } else {
+        worklist.Rebuild();
+      }
+    });
 
     // Superstep accounting.
     SuperstepStats step;
     step.superstep = superstep_;
     step.per_worker = counters_;
+    step.dense_path = dense_now;
+    step.host_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - superstep_start)
+                            .count();
     step.simulated_seconds = options_.cost_profile.SuperstepSeconds(
         counters_, superstep_, &step.critical_worker);
     for (size_t i = 0; i < agg_names_.size(); ++i) {
@@ -275,26 +459,22 @@ Result<RunStats> EngineState<V, M>::Run() {
     }
 
     // Master compute + halting checks. A vertex is active after the
-    // superstep iff it computed and did not vote to halt, i.e. iff it is
-    // in some worker's survivor list.
-    uint64_t active_count = 0;
-    for (const WorkerWorklist& worklist : worklists_) {
-      active_count += worklist.num_survivors();
-    }
-
+    // superstep iff it computed and did not vote to halt — the census
+    // taken right after the compute phase above.
     MasterContext master(superstep_, n, agg_reduced_, active_count,
-                         totals.total_messages());
+                         messages_sent);
     program_->MasterCompute(&master);
     if (master.halt_requested()) {
       halt_reason = HaltReason::kMasterHalt;
       break;
     }
-    if (active_count == 0 && totals.total_messages() == 0) {
+    if (active_count == 0 && messages_sent == 0) {
       halt_reason = HaltReason::kConverged;
       break;
     }
 
     agg_prev_ = agg_reduced_;
+    dense_now = next_dense;
   }
 
   stats.halt_reason = halt_reason;
@@ -333,12 +513,24 @@ class Engine {
   }
 
   /// Executes the program to completion (or OOM / max supersteps).
-  Result<RunStats> Run(const Graph& graph, VertexProgram<V, M>* program) {
+  /// Deduces the concrete program type: in-tree programs are `final`, so
+  /// the compiler devirtualizes and inlines Compute into the superstep
+  /// loop. Passing a VertexProgram<V, M>* keeps virtual dispatch with
+  /// identical results.
+  template <typename Program>
+    requires std::is_base_of_v<VertexProgram<V, M>, Program>
+  Result<RunStats> Run(const Graph& graph, Program* program) {
     if (program == nullptr) return Status::InvalidArgument("null program");
     internal::EngineState<V, M> state(graph, program, options_, pool_.get());
-    auto result = state.Run();
+    auto result = state.Run(program);
     values_ = std::move(state.values());
     return result;
+  }
+
+  /// Base-pointer overload (also catches a literal nullptr, which cannot
+  /// deduce the template): virtual dispatch, identical results.
+  Result<RunStats> Run(const Graph& graph, VertexProgram<V, M>* program) {
+    return Run<VertexProgram<V, M>>(graph, program);
   }
 
   /// Final vertex values of the last Run (empty before any run).
@@ -372,8 +564,9 @@ inline V& VertexContext<V, M>::value() {
   // this vertex's contribution to the simulated memory model; the size
   // before the first (potential) write is captured here, which keeps
   // vertices that never take a mutable reference entirely free of
-  // VertexStateBytes calls.
-  if (!value_dirty_) {
+  // VertexStateBytes calls. Fixed-size programs skip the tracking
+  // altogether — their state contribution never changes.
+  if (engine_->fixed_state_bytes_ == 0 && !value_dirty_) {
     value_dirty_ = true;
     pre_state_bytes_ = engine_->program_->VertexStateBytes(engine_->values_[id_]);
   }
@@ -387,7 +580,13 @@ inline const V& VertexContext<V, M>::value() const {
 
 template <typename V, typename M>
 inline std::span<const VertexId> VertexContext<V, M>::out_neighbors() const {
-  return engine_->graph_->out_neighbors(id_);
+  // Plain graphs return the CSR span directly; compressed graphs decode
+  // into the worker's scratch buffer (single-writer — each worker's
+  // compute phase runs on one thread), so the span is valid until the
+  // next out_neighbors() call on this worker. Programs consume it within
+  // one Compute invocation, which satisfies that.
+  return engine_->graph_->OutNeighborsInto(id_,
+                                           &engine_->out_scratch_[worker_]);
 }
 
 template <typename V, typename M>
@@ -428,30 +627,34 @@ inline void VertexContext<V, M>::SendMessageToAllNeighbors(const M& message) {
   // function of the message value), saving a virtual call per edge in
   // broadcast-style programs.
   auto* engine = engine_;
+  const Graph& graph = *engine->graph_;
   const PartitionMap& partition = engine->partition_;
   const uint64_t bytes = engine->program_->MessageBytes(message);
   auto* const row = engine->messages_.SenderRow(worker_);
   const WorkerId self = worker_;
   uint64_t local = 0;
+  // ForEachOutNeighbor is the block-wise decode path on compressed
+  // graphs and a plain span walk otherwise — the scatter loop never
+  // materializes the adjacency list.
   if (partition.is_modulo()) {
     // Hash fast path: ownership is two multiplies per edge — the mode
     // check is hoisted out of the loop so the seed scheme keeps its
     // table-free inner loop.
     const internal::FastDiv divider = partition.divider();  // by value
-    for (const VertexId target : out_neighbors()) {
+    graph.ForEachOutNeighbor(id_, [&](VertexId target) {
       const uint32_t target_local = divider.Div(target);
       const WorkerId dest_worker = target - target_local * divider.divisor();
       local += (dest_worker == self);
       row[dest_worker].PushBack(target_local, M(message));
-    }
+    });
   } else {
-    for (const VertexId target : out_neighbors()) {
+    graph.ForEachOutNeighbor(id_, [&](VertexId target) {
       const PartitionMap::Location loc = partition.Locate(target);
       local += (loc.worker == self);
       row[loc.worker].PushBack(loc.local, M(message));
-    }
+    });
   }
-  const uint64_t remote = out_neighbors().size() - local;
+  const uint64_t remote = graph.out_degree(id_) - local;
   WorkerCounters& counters = engine->counters_[worker_];
   counters.local_messages += local;
   counters.local_message_bytes += local * bytes;

@@ -243,6 +243,75 @@ class MessageStore {
     }
   }
 
+  /// Dense-superstep variant of BuildIncomingSlab: the next superstep
+  /// enumerates owned vertices itself, so no worklist handoff is needed —
+  /// and that makes the messaged-vertex SORT unnecessary too. The slab
+  /// only requires each messaged vertex to own a disjoint payload range;
+  /// the ranges' relative position carries no meaning (per-vertex
+  /// delivery order comes from the placement pass iterating senders
+  /// ascending in append order, identical to the sparse build). So the
+  /// prefix sum walks the first-touch list in discovery order:
+  /// O(messages + messaged) with no O(owned) pass and no sort — cheaper
+  /// than the sparse build by exactly the bookkeeping the worklist
+  /// needs, which is what BM_DenseSuperstep measures. Safe to call
+  /// concurrently for distinct `w`.
+  void BuildIncomingSlabDense(WorkerId w) {
+    Slab& slab = slabs_[w];
+    SlabEntry* const entries = slab.entries.data();
+    const uint32_t stamp = ++slab.stamp;
+    std::vector<uint32_t>& touched = slab.touched;
+    touched.clear();
+
+    // Pass 1: per-vertex counts + first-touch discovery (unsorted).
+    uint64_t total = 0;
+    for (WorkerId sender = 0; sender < num_workers_; ++sender) {
+      Outbox& box = OutboxFor(sender, w);
+      box.ForEachLocal([&](uint32_t target_local) {
+        SlabEntry& entry = entries[target_local];
+        if (entry.epoch != stamp) {
+          entry.epoch = stamp;
+          entry.begin = 0;
+          touched.push_back(target_local);
+        }
+        entry.begin++;
+      });
+      total += box.size();
+    }
+
+    // Prefix sum in discovery order; untouched entries keep a stale
+    // epoch and read as empty inboxes via the stamp check.
+    uint32_t running = 0;
+    for (const uint32_t l : touched) {
+      SlabEntry& entry = entries[l];
+      const uint32_t count = entry.begin;
+      entry.begin = running;
+      entry.end = running;
+      running += count;
+    }
+    if (slab.payload.size() < total) slab.payload.resize(total);
+
+    // Stable placement, identical to the sparse build's pass 2.
+    M* const payload_out = slab.payload.data();
+    for (WorkerId sender = 0; sender < num_workers_; ++sender) {
+      Outbox& box = OutboxFor(sender, w);
+      box.ForEachMessage([&](uint32_t target_local, M& payload) {
+        payload_out[entries[target_local].end++] = std::move(payload);
+      });
+      box.Clear();
+    }
+  }
+
+  /// MessagesFor by precomputed local index — the dense compute path
+  /// iterates owned vertices with a running local counter, so it skips
+  /// the partition-map lookup.
+  std::span<const M> MessagesForLocal(WorkerId w, uint32_t local) const {
+    const Slab& slab = slabs_[w];
+    const SlabEntry& entry = slab.entries[local];
+    if (entry.epoch != slab.stamp) return {};
+    return {slab.payload.data() + entry.begin,
+            slab.payload.data() + entry.end};
+  }
+
   /// Inbox of vertex `v` (owned by `w`) for the current superstep, as a
   /// contiguous span into the worker's slab. Empty if nothing was
   /// delivered this superstep.
@@ -275,6 +344,9 @@ class MessageStore {
   struct Slab {
     std::vector<M> payload;  // all messages, grouped by local index
     std::vector<SlabEntry> entries;
+    /// Dense-build scratch: first-touched locals in discovery order
+    /// (capacity retained across supersteps).
+    std::vector<uint32_t> touched;
     uint32_t stamp = 0;      // incremented per BuildIncomingSlab
   };
 

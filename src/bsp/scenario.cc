@@ -116,11 +116,16 @@ std::string EngineOptionsKey(const EngineOptions& options) {
   // could make two different deployments share a cache slot — the exact
   // wrong-hit this key exists to prevent (same bounds-checked idiom as
   // SamplerOptionsKey).
+  // path/dpt/cg join the key even though neither affects simulated
+  // output: profiles are keyed by the exact engine configuration that
+  // produced them, so two configs that execute differently must never
+  // share a cache slot (the SamplerOptionsKey discipline).
   const auto format = [&](char* out, size_t size) {
     return std::snprintf(
         out, size,
         "w=%u;part=%s;ms=%d;mem=%llu;av=%.17g;lm=%.17g;rm=%.17g;lb=%.17g;"
-        "rb=%.17g;bar=%.17g;set=%.17g;rd=%.17g;wr=%.17g;ns=%.17g;seed=%llu",
+        "rb=%.17g;bar=%.17g;set=%.17g;rd=%.17g;wr=%.17g;ns=%.17g;seed=%llu;"
+        "path=%s;dpt=%.17g;cg=%d",
         options.num_workers, PartitionStrategyName(options.partition),
         options.max_supersteps,
         static_cast<unsigned long long>(options.memory_budget_bytes),
@@ -128,7 +133,9 @@ std::string EngineOptionsKey(const EngineOptions& options) {
         cp.per_remote_message_seconds, cp.per_local_byte_seconds,
         cp.per_remote_byte_seconds, cp.barrier_seconds, cp.setup_seconds,
         cp.read_bytes_per_second, cp.write_bytes_per_second, cp.noise_sigma,
-        static_cast<unsigned long long>(cp.noise_seed));
+        static_cast<unsigned long long>(cp.noise_seed),
+        SuperstepPathName(options.superstep_path), options.dense_path_threshold,
+        options.compressed_graph ? 1 : 0);
   };
   char buf[512];
   std::string key;

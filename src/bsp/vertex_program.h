@@ -152,6 +152,15 @@ class VertexProgram {
     (void)value;
     return sizeof(V);
   }
+
+  /// Non-zero iff VertexStateBytes is the same for every possible value,
+  /// in which case this returns that constant. Lets the engine charge
+  /// vertex-state memory once at init and skip the per-vertex dirty
+  /// tracking (two VertexStateBytes virtual calls per computed vertex)
+  /// entirely — a measurable win on fixed-state kernels like PageRank.
+  /// Programs whose state owns heap payloads (top-k lists, clusters)
+  /// must leave this at 0.
+  virtual uint64_t FixedVertexStateBytes() const { return 0; }
 };
 
 }  // namespace predict::bsp

@@ -67,6 +67,25 @@ class WorkerWorklist {
   /// vertices (sorted ascending) at the barrier.
   std::vector<VertexId>* messaged() { return &messaged_; }
 
+  /// Dense-to-sparse transition: the dense compute path maintains no
+  /// survivor list (it reads the engine's per-vertex active flags
+  /// directly), so when the next superstep goes back to the worklist
+  /// path the survivors are reconstructed from those flags. The flags
+  /// and the survivor list are provably the same set — a vertex not in
+  /// its worker's worklist always has active[v] == 0 — and ForEachOwned
+  /// visits ascending, so the rebuilt worklist is bit-identical to the
+  /// one the sparse path would have maintained. O(owned), which is fine:
+  /// the engine only chose the dense path because the active fraction
+  /// was already near 1.
+  void RebuildFromFlags(WorkerId w, const PartitionMap& partition,
+                        const uint8_t* active) {
+    survivors_.clear();
+    partition.ForEachOwned(w, [&](VertexId v) {
+      if (active[v]) survivors_.push_back(v);
+    });
+    Rebuild();
+  }
+
   /// Barrier phase: next worklist = survivors ∪ messaged.
   void Rebuild() {
     scratch_.clear();

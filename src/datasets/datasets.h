@@ -43,8 +43,23 @@ const std::vector<DatasetInfo>& PaperDatasets();
 /// Short names, in Table 2 order.
 std::vector<std::string> PaperDatasetNames();
 
-/// Builds a dataset by name ("lj", "wiki", "tw", "uk"). `scale` in (0,1]
-/// shrinks the vertex count (tests use 0.05-0.2; benches use 1.0).
+/// Scale-tier datasets: deterministic-by-seed RMAT graphs far beyond the
+/// paper stand-ins, built with varint/delta-compressed edges
+/// (Graph::edges_compressed()) so they fit simulated memory budgets.
+/// Kept out of PaperDatasets() deliberately — the paper suite and every
+/// test iterating it stays laptop-fast; the scale tier is exercised by
+/// bench/rmat_scale_gate.cc and opt-in CLI runs. "rmat100m" is the
+/// PREDICT_SCALE_XL=1 configuration (~100M edges; several GB of host RAM
+/// during generation).
+const std::vector<DatasetInfo>& ScaleDatasets();
+
+/// Short names of the scale tier, registry order.
+std::vector<std::string> ScaleDatasetNames();
+
+/// Builds a dataset by name — the paper stand-ins ("lj", "wiki", "tw",
+/// "uk", plain edges) or the scale tier ("rmat10m", "rmat100m",
+/// compressed edges). `scale` in (0,1] shrinks the vertex count (tests
+/// use 0.05-0.2; benches use 1.0).
 Result<Graph> MakeDataset(const std::string& name, double scale = 1.0);
 
 /// EngineOptions matching the paper's cluster: 29 workers and a total

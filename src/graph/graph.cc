@@ -13,6 +13,11 @@ Graph::Graph(const Graph& other)
       in_offsets_(other.in_offsets_),
       in_sources_(other.in_sources_),
       is_weighted_(other.is_weighted_),
+      edges_compressed_(other.edges_compressed_),
+      out_packed_(other.out_packed_),
+      in_packed_(other.in_packed_),
+      out_packed_offsets_(other.out_packed_offsets_),
+      in_packed_offsets_(other.in_packed_offsets_),
       fingerprint_cache_(
           other.fingerprint_cache_.load(std::memory_order_relaxed)) {}
 
@@ -24,6 +29,11 @@ Graph& Graph::operator=(const Graph& other) {
   in_offsets_ = other.in_offsets_;
   in_sources_ = other.in_sources_;
   is_weighted_ = other.is_weighted_;
+  edges_compressed_ = other.edges_compressed_;
+  out_packed_ = other.out_packed_;
+  in_packed_ = other.in_packed_;
+  out_packed_offsets_ = other.out_packed_offsets_;
+  in_packed_offsets_ = other.in_packed_offsets_;
   fingerprint_cache_.store(
       other.fingerprint_cache_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -37,8 +47,14 @@ Graph::Graph(Graph&& other) noexcept
       in_offsets_(std::move(other.in_offsets_)),
       in_sources_(std::move(other.in_sources_)),
       is_weighted_(other.is_weighted_),
+      edges_compressed_(other.edges_compressed_),
+      out_packed_(std::move(other.out_packed_)),
+      in_packed_(std::move(other.in_packed_)),
+      out_packed_offsets_(std::move(other.out_packed_offsets_)),
+      in_packed_offsets_(std::move(other.in_packed_offsets_)),
       fingerprint_cache_(
           other.fingerprint_cache_.load(std::memory_order_relaxed)) {
+  other.edges_compressed_ = false;
   other.fingerprint_cache_.store(0, std::memory_order_relaxed);
 }
 
@@ -50,9 +66,15 @@ Graph& Graph::operator=(Graph&& other) noexcept {
   in_offsets_ = std::move(other.in_offsets_);
   in_sources_ = std::move(other.in_sources_);
   is_weighted_ = other.is_weighted_;
+  edges_compressed_ = other.edges_compressed_;
+  out_packed_ = std::move(other.out_packed_);
+  in_packed_ = std::move(other.in_packed_);
+  out_packed_offsets_ = std::move(other.out_packed_offsets_);
+  in_packed_offsets_ = std::move(other.in_packed_offsets_);
   fingerprint_cache_.store(
       other.fingerprint_cache_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  other.edges_compressed_ = false;
   other.fingerprint_cache_.store(0, std::memory_order_relaxed);
   return *this;
 }
@@ -75,7 +97,8 @@ Graph Graph::FromCsr(std::vector<uint64_t> out_offsets,
                      std::vector<VertexId> out_targets,
                      std::vector<float> out_weights,
                      std::vector<uint64_t> in_offsets,
-                     std::vector<VertexId> in_sources) {
+                     std::vector<VertexId> in_sources,
+                     bool compress_edges) {
   assert(!out_offsets.empty() && out_offsets.size() == in_offsets.size());
   assert(out_offsets.front() == 0 && in_offsets.front() == 0);
   assert(out_offsets.back() == out_targets.size());
@@ -98,18 +121,102 @@ Graph Graph::FromCsr(std::vector<uint64_t> out_offsets,
   g.in_offsets_ = std::move(in_offsets);
   g.in_sources_ = std::move(in_sources);
   g.is_weighted_ = !g.out_weights_.empty();
+  if (compress_edges) g.CompressEdgesInPlace();
   return g;
+}
+
+Graph Graph::WithCompressedEdges(Graph g) {
+  g.CompressEdgesInPlace();
+  return g;
+}
+
+Graph Graph::WithPlainEdges(Graph g) {
+  g.DecompressEdgesInPlace();
+  return g;
+}
+
+namespace {
+
+// Re-encodes one adjacency direction as per-vertex varint/delta streams.
+// Deltas reset per vertex (prev = 0 at each list head) so any single
+// vertex's list can be decoded without touching its neighbors' bytes.
+void PackDirection(uint64_t v_count, const std::vector<uint64_t>& offsets,
+                   std::vector<VertexId>* ids, std::vector<uint8_t>* packed,
+                   std::vector<uint32_t>* packed_offsets) {
+  packed->clear();
+  packed->reserve(ids->size() * 2);
+  packed_offsets->assign(v_count + 1, 0);
+  for (uint64_t v = 0; v < v_count; ++v) {
+    (*packed_offsets)[v] = static_cast<uint32_t>(packed->size());
+    uint32_t prev = 0;
+    varint::AppendDeltaList(
+        std::span<const VertexId>(ids->data() + offsets[v],
+                                  ids->data() + offsets[v + 1]),
+        &prev, packed);
+  }
+  assert(packed->size() < (1ULL << 32));
+  (*packed_offsets)[v_count] = static_cast<uint32_t>(packed->size());
+  packed->shrink_to_fit();
+  ids->clear();
+  ids->shrink_to_fit();
+}
+
+void UnpackDirection(uint64_t v_count, const std::vector<uint64_t>& offsets,
+                     std::vector<uint8_t>* packed,
+                     std::vector<uint32_t>* packed_offsets,
+                     std::vector<VertexId>* ids) {
+  ids->resize(offsets.empty() ? 0 : offsets.back());
+  for (uint64_t v = 0; v < v_count; ++v) {
+    const uint8_t* p = packed->data() + (*packed_offsets)[v];
+    uint32_t prev = 0;
+    VertexId* out = ids->data() + offsets[v];
+    uint64_t count = offsets[v + 1] - offsets[v];
+    while (count != 0) {
+      const size_t n = count < varint::kDecodeBlock
+                           ? static_cast<size_t>(count)
+                           : varint::kDecodeBlock;
+      p = varint::DecodeDeltaBlock(p, n, &prev, out);
+      out += n;
+      count -= n;
+    }
+  }
+  packed->clear();
+  packed->shrink_to_fit();
+  packed_offsets->clear();
+  packed_offsets->shrink_to_fit();
+}
+
+}  // namespace
+
+void Graph::CompressEdgesInPlace() {
+  if (edges_compressed_) return;
+  const uint64_t v_count = num_vertices();
+  PackDirection(v_count, out_offsets_, &out_targets_, &out_packed_,
+                &out_packed_offsets_);
+  PackDirection(v_count, in_offsets_, &in_sources_, &in_packed_,
+                &in_packed_offsets_);
+  edges_compressed_ = true;
+}
+
+void Graph::DecompressEdgesInPlace() {
+  if (!edges_compressed_) return;
+  const uint64_t v_count = num_vertices();
+  UnpackDirection(v_count, out_offsets_, &out_packed_, &out_packed_offsets_,
+                  &out_targets_);
+  UnpackDirection(v_count, in_offsets_, &in_packed_, &in_packed_offsets_,
+                  &in_sources_);
+  edges_compressed_ = false;
 }
 
 std::vector<Edge> Graph::ToEdgeList() const {
   std::vector<Edge> edges;
   edges.reserve(num_edges());
   for (VertexId v = 0; v < num_vertices(); ++v) {
-    const auto targets = out_neighbors(v);
-    for (size_t i = 0; i < targets.size(); ++i) {
-      const float w = is_weighted_ ? out_weights_[out_offsets_[v] + i] : 1.0f;
-      edges.push_back({v, targets[i], w});
-    }
+    uint64_t slot = out_offsets_[v];
+    ForEachOutNeighbor(v, [&](VertexId t) {
+      edges.push_back({v, t, is_weighted_ ? out_weights_[slot] : 1.0f});
+      ++slot;
+    });
   }
   return edges;
 }
@@ -121,7 +228,19 @@ uint64_t Graph::MemoryFootprintBytes() const {
   bytes += out_weights_.size() * sizeof(float);
   bytes += in_offsets_.size() * sizeof(uint64_t);
   bytes += in_sources_.size() * sizeof(VertexId);
+  bytes += out_packed_.size() + in_packed_.size();
+  bytes += out_packed_offsets_.size() * sizeof(uint32_t);
+  bytes += in_packed_offsets_.size() * sizeof(uint32_t);
   return bytes;
+}
+
+uint64_t Graph::EdgeStorageBytes() const {
+  if (!edges_compressed_) {
+    return (out_targets_.size() + in_sources_.size()) * sizeof(VertexId);
+  }
+  return out_packed_.size() + in_packed_.size() +
+         (out_packed_offsets_.size() + in_packed_offsets_.size()) *
+             sizeof(uint32_t);
 }
 
 namespace {
@@ -155,8 +274,19 @@ uint64_t Graph::Fingerprint() const {
   // The out CSR fully determines the structure (the in CSR is derived).
   hash = FnvMix(hash, out_offsets_.data(),
                 out_offsets_.size() * sizeof(uint64_t));
-  hash = FnvMix(hash, out_targets_.data(),
-                out_targets_.size() * sizeof(VertexId));
+  if (!edges_compressed_) {
+    hash = FnvMix(hash, out_targets_.data(),
+                  out_targets_.size() * sizeof(VertexId));
+  } else {
+    // Hash the decoded target ids so plain and compressed copies of the
+    // same structure see the identical byte stream (per-vertex chunks
+    // concatenate to exactly the plain out_targets_ array).
+    std::vector<VertexId> scratch;
+    for (uint64_t u = 0; u < v; ++u) {
+      const auto targets = OutNeighborsInto(static_cast<VertexId>(u), &scratch);
+      hash = FnvMix(hash, targets.data(), targets.size() * sizeof(VertexId));
+    }
+  }
   if (is_weighted_) {
     hash = FnvMix(hash, out_weights_.data(),
                   out_weights_.size() * sizeof(float));
@@ -173,11 +303,12 @@ uint64_t Graph::FingerprintComputationsForTest() {
 }
 
 std::string Graph::ToString() const {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "Graph(|V|=%llu, |E|=%llu%s)",
+  char buf[112];
+  std::snprintf(buf, sizeof(buf), "Graph(|V|=%llu, |E|=%llu%s%s)",
                 static_cast<unsigned long long>(num_vertices()),
                 static_cast<unsigned long long>(num_edges()),
-                is_weighted_ ? ", weighted" : "");
+                is_weighted_ ? ", weighted" : "",
+                edges_compressed_ ? ", compressed" : "");
   return buf;
 }
 
@@ -262,6 +393,8 @@ Result<Graph> GraphBuilder::Build() {
 
   edges_.clear();
   edges_.shrink_to_fit();
+
+  if (compress_edges_) g.CompressEdgesInPlace();
   return g;
 }
 

@@ -5,11 +5,21 @@
 // adjacency so that algorithms and graph statistics (in/out degree
 // ratios, PREDIcT's sampling requirements in §3.2.1 of the paper) are
 // O(1)/O(deg) without re-deriving the transpose.
+//
+// Edge endpoints can optionally be stored varint/delta-compressed
+// (graph/varint.h) instead of as flat id arrays — opt in via
+// GraphBuilder::set_compress_edges, the Graph::FromCsr flag, or
+// Graph::WithCompressedEdges. A compressed graph has the same logical
+// structure (same Fingerprint, same ToEdgeList) at a fraction of the
+// edge bytes, which is what lets 10M-100M-edge inputs fit the simulated
+// memory budgets; adjacency is then read through ForEachOutNeighbor /
+// OutNeighborsInto (block-wise decode) rather than the raw spans.
 
 #ifndef PREDICT_GRAPH_GRAPH_H_
 #define PREDICT_GRAPH_GRAPH_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -18,6 +28,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "graph/varint.h"
 
 namespace predict {
 
@@ -76,17 +87,36 @@ class Graph {
   /// least one weight != 1.0f; the in arrays describe exactly the
   /// reverse of the out arrays. Invariants are checked with assert()
   /// in debug builds only — this is not an input-validation API.
+  ///
+  /// With `compress_edges` set, the target/source arrays are re-encoded
+  /// as varint/delta streams and discarded.
   static Graph FromCsr(std::vector<uint64_t> out_offsets,
                        std::vector<VertexId> out_targets,
                        std::vector<float> out_weights,
                        std::vector<uint64_t> in_offsets,
-                       std::vector<VertexId> in_sources);
+                       std::vector<VertexId> in_sources,
+                       bool compress_edges = false);
+
+  /// Returns `g` with edge endpoints varint/delta-compressed (no-op if
+  /// already compressed). Same logical structure, same Fingerprint.
+  static Graph WithCompressedEdges(Graph g);
+
+  /// Inverse of WithCompressedEdges: re-materializes the flat endpoint
+  /// arrays (no-op if already plain).
+  static Graph WithPlainEdges(Graph g);
 
   uint64_t num_vertices() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
-  uint64_t num_edges() const { return out_targets_.size(); }
+  uint64_t num_edges() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.back();
+  }
 
   /// True when any edge carries a weight != 1.0.
   bool is_weighted() const { return is_weighted_; }
+
+  /// True when edge endpoints are stored varint/delta-compressed; the
+  /// raw out_neighbors / in_neighbors / out_targets / in_sources spans
+  /// are unavailable then — use the ForEach / *Into accessors.
+  bool edges_compressed() const { return edges_compressed_; }
 
   uint64_t out_degree(VertexId v) const {
     return out_offsets_[v + 1] - out_offsets_[v];
@@ -95,27 +125,76 @@ class Graph {
     return in_offsets_[v + 1] - in_offsets_[v];
   }
 
-  /// Targets of v's outgoing edges (with multiplicity).
+  /// Targets of v's outgoing edges (with multiplicity). Plain storage
+  /// only (asserts); compression-agnostic callers use ForEachOutNeighbor
+  /// or OutNeighborsInto.
   std::span<const VertexId> out_neighbors(VertexId v) const {
+    assert(!edges_compressed_);
     return {out_targets_.data() + out_offsets_[v],
             out_targets_.data() + out_offsets_[v + 1]};
   }
 
-  /// Weights parallel to out_neighbors(v). Valid only if is_weighted().
+  /// Weights parallel to v's out-edges. Valid only if is_weighted();
+  /// weights stay uncompressed, so this works in both storage modes.
   std::span<const float> out_weights(VertexId v) const {
     return {out_weights_.data() + out_offsets_[v],
             out_weights_.data() + out_offsets_[v + 1]};
   }
 
-  /// Sources of v's incoming edges (with multiplicity).
+  /// Sources of v's incoming edges (with multiplicity). Plain storage
+  /// only (asserts).
   std::span<const VertexId> in_neighbors(VertexId v) const {
+    assert(!edges_compressed_);
     return {in_sources_.data() + in_offsets_[v],
             in_sources_.data() + in_offsets_[v + 1]};
   }
 
+  /// Invokes fn(target) for each of v's out-edges in CSR order. For
+  /// compressed graphs this is the block-wise decode path (the engine's
+  /// scatter loops); for plain graphs it iterates the span directly.
+  template <typename Fn>
+  void ForEachOutNeighbor(VertexId v, Fn&& fn) const {
+    if (!edges_compressed_) {
+      for (const VertexId t : out_neighbors(v)) fn(t);
+      return;
+    }
+    DecodeList(out_packed_.data() + out_packed_offsets_[v], out_degree(v),
+               static_cast<Fn&&>(fn));
+  }
+
+  /// Invokes fn(source) for each of v's in-edges in CSR order.
+  template <typename Fn>
+  void ForEachInSource(VertexId v, Fn&& fn) const {
+    if (!edges_compressed_) {
+      for (const VertexId s : in_neighbors(v)) fn(s);
+      return;
+    }
+    DecodeList(in_packed_.data() + in_packed_offsets_[v], in_degree(v),
+               static_cast<Fn&&>(fn));
+  }
+
+  /// v's out-targets as a span, valid until the next call reusing
+  /// `scratch`. Plain graphs return the CSR span directly (no copy);
+  /// compressed graphs decode into `scratch`.
+  std::span<const VertexId> OutNeighborsInto(
+      VertexId v, std::vector<VertexId>* scratch) const {
+    if (!edges_compressed_) return out_neighbors(v);
+    return DecodeInto(out_packed_.data() + out_packed_offsets_[v],
+                      out_degree(v), scratch);
+  }
+
+  /// v's in-sources as a span; same contract as OutNeighborsInto.
+  std::span<const VertexId> InSourcesInto(VertexId v,
+                                          std::vector<VertexId>* scratch) const {
+    if (!edges_compressed_) return in_neighbors(v);
+    return DecodeInto(in_packed_.data() + in_packed_offsets_[v], in_degree(v),
+                      scratch);
+  }
+
   /// Whole-array views of the CSR structure, for code that walks or
   /// re-assembles adjacency wholesale (transforms, serialization) rather
-  /// than per vertex.
+  /// than per vertex. The target/source arrays are empty when
+  /// edges_compressed().
   std::span<const uint64_t> out_offsets() const { return out_offsets_; }
   std::span<const VertexId> out_targets() const { return out_targets_; }
   std::span<const float> out_weights() const { return out_weights_; }
@@ -127,15 +206,23 @@ class Graph {
 
   /// Total bytes of the CSR arrays; used by the simulated memory model to
   /// account for the in-memory input graph (Giraph's "read phase" loads the
-  /// graph into worker memory).
+  /// graph into worker memory). Compressed graphs report the packed size.
   uint64_t MemoryFootprintBytes() const;
 
+  /// Bytes spent on edge-endpoint storage only: the target/source arrays
+  /// (plain) or the packed streams plus their per-vertex byte index
+  /// (compressed). The quantity the rmat_scale_gate compression-ratio
+  /// check compares.
+  uint64_t EdgeStorageBytes() const;
+
   /// Stable 64-bit content hash of the graph structure (vertex count, out
-  /// CSR arrays, weights), independent of how the Graph was constructed.
-  /// Identical structure always hashes equal; distinct structures collide
-  /// only with 64-bit-hash probability (FNV-1a is not cryptographic —
-  /// callers building cache keys on it should also key on |V|/|E|, as
-  /// pipeline::SampleKey does). Never returns 0.
+  /// CSR arrays, weights), independent of how the Graph was constructed —
+  /// including whether edges are compressed: plain and compressed copies
+  /// of the same structure hash equal. Identical structure always hashes
+  /// equal; distinct structures collide only with 64-bit-hash probability
+  /// (FNV-1a is not cryptographic — callers building cache keys on it
+  /// should also key on |V|/|E|, as pipeline::SampleKey does). Never
+  /// returns 0.
   ///
   /// Memoized: the O(V + E) scan runs once per Graph instance (copies
   /// inherit the cached value) and the result is served from a cache
@@ -154,12 +241,58 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  /// Re-encodes the endpoint arrays as varint/delta streams (and frees
+  /// them); inverse is DecompressEdgesInPlace.
+  void CompressEdgesInPlace();
+  void DecompressEdgesInPlace();
+
+  template <typename Fn>
+  static void DecodeList(const uint8_t* p, uint64_t count, Fn&& fn) {
+    uint32_t prev = 0;
+    VertexId block[varint::kDecodeBlock];
+    while (count != 0) {
+      const size_t n = count < varint::kDecodeBlock
+                           ? static_cast<size_t>(count)
+                           : varint::kDecodeBlock;
+      p = varint::DecodeDeltaBlock(p, n, &prev, block);
+      for (size_t i = 0; i < n; ++i) fn(block[i]);
+      count -= n;
+    }
+  }
+
+  static std::span<const VertexId> DecodeInto(const uint8_t* p, uint64_t count,
+                                              std::vector<VertexId>* scratch) {
+    if (scratch->size() < count) scratch->resize(count);
+    uint32_t prev = 0;
+    VertexId* out = scratch->data();
+    uint64_t remaining = count;
+    while (remaining != 0) {
+      const size_t n = remaining < varint::kDecodeBlock
+                           ? static_cast<size_t>(remaining)
+                           : varint::kDecodeBlock;
+      p = varint::DecodeDeltaBlock(p, n, &prev, out);
+      out += n;
+      remaining -= n;
+    }
+    return {scratch->data(), scratch->data() + count};
+  }
+
   std::vector<uint64_t> out_offsets_;  // size V+1
-  std::vector<VertexId> out_targets_;  // size E
+  std::vector<VertexId> out_targets_;  // size E (empty when compressed)
   std::vector<float> out_weights_;     // size E iff weighted, else empty
   std::vector<uint64_t> in_offsets_;   // size V+1
-  std::vector<VertexId> in_sources_;   // size E
+  std::vector<VertexId> in_sources_;   // size E (empty when compressed)
   bool is_weighted_ = false;
+
+  // Compressed-edge storage (edges_compressed_ only): varint/delta
+  // streams plus per-vertex byte offsets into them. Byte offsets are
+  // 32-bit — a stream would exceed 4 GiB only beyond ~1.5G edges, far
+  // past what a single simulated cluster models.
+  bool edges_compressed_ = false;
+  std::vector<uint8_t> out_packed_;
+  std::vector<uint8_t> in_packed_;
+  std::vector<uint32_t> out_packed_offsets_;  // size V+1
+  std::vector<uint32_t> in_packed_offsets_;   // size V+1
 
   // 0 = not yet computed (Fingerprint() itself never yields 0).
   mutable std::atomic<uint64_t> fingerprint_cache_{0};
@@ -205,6 +338,9 @@ class GraphBuilder {
   /// Deduplicate parallel edges at Build time, keeping the first weight.
   void set_dedup_parallel_edges(bool dedup) { dedup_parallel_edges_ = dedup; }
 
+  /// Store edge endpoints varint/delta-compressed (default plain).
+  void set_compress_edges(bool compress) { compress_edges_ = compress; }
+
   uint64_t num_pending_edges() const { return edges_.size(); }
 
   /// Validates and assembles the CSR structure. The builder is consumed.
@@ -215,6 +351,7 @@ class GraphBuilder {
   std::vector<Edge> edges_;
   bool drop_self_loops_ = false;
   bool dedup_parallel_edges_ = false;
+  bool compress_edges_ = false;
 };
 
 }  // namespace predict

@@ -89,8 +89,9 @@ Status WriteBinaryGraphFile(const Graph& graph, const std::string& path) {
   WriteScalar<uint64_t>(out, graph.num_vertices());
   WriteScalar<uint64_t>(out, graph.num_edges());
   WriteScalar<uint8_t>(out, graph.is_weighted() ? 1 : 0);
+  std::vector<VertexId> decode;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    const auto targets = graph.out_neighbors(v);
+    const auto targets = graph.OutNeighborsInto(v, &decode);
     for (size_t i = 0; i < targets.size(); ++i) {
       WriteScalar<uint32_t>(out, v);
       WriteScalar<uint32_t>(out, targets[i]);
@@ -152,8 +153,9 @@ Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
   }
   out << "# predict edge list |V|=" << graph.num_vertices()
       << " |E|=" << graph.num_edges() << "\n";
+  std::vector<VertexId> decode;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    const auto targets = graph.out_neighbors(v);
+    const auto targets = graph.OutNeighborsInto(v, &decode);
     for (size_t i = 0; i < targets.size(); ++i) {
       out << v << ' ' << targets[i];
       if (graph.is_weighted()) out << ' ' << graph.out_weights(v)[i];

@@ -99,7 +99,7 @@ std::vector<VertexId> WeaklyConnectedComponents(const Graph& graph) {
   const uint64_t n = graph.num_vertices();
   UnionFind uf(n);
   for (VertexId v = 0; v < n; ++v) {
-    for (const VertexId u : graph.out_neighbors(v)) uf.Union(v, u);
+    graph.ForEachOutNeighbor(v, [&](VertexId u) { uf.Union(v, u); });
   }
   std::vector<VertexId> labels(n);
   for (VertexId v = 0; v < n; ++v) labels[v] = uf.Find(v);
@@ -146,8 +146,8 @@ double EffectiveDiameter(const Graph& graph, double quantile,
   for (uint64_t v = 0; v < n; ++v) {
     uint64_t slot = und_offsets[v];
     const auto vid = static_cast<VertexId>(v);
-    for (const VertexId u : graph.out_neighbors(vid)) und_targets[slot++] = u;
-    for (const VertexId u : graph.in_neighbors(vid)) und_targets[slot++] = u;
+    graph.ForEachOutNeighbor(vid, [&](VertexId u) { und_targets[slot++] = u; });
+    graph.ForEachInSource(vid, [&](VertexId u) { und_targets[slot++] = u; });
   }
 
   // One exact undirected BFS per source, fanned out across the pool.
@@ -314,20 +314,20 @@ double AverageClusteringCoefficient(const Graph& graph, uint32_t num_samples,
   for (const uint64_t v64 : picks) {
     const VertexId v = static_cast<VertexId>(v64);
     touch(v);
-    for (const VertexId u : graph.out_neighbors(v)) touch(u);
-    for (const VertexId u : graph.in_neighbors(v)) touch(u);
+    graph.ForEachOutNeighbor(v, touch);
+    graph.ForEachInSource(v, touch);
   }
 
   std::vector<std::vector<VertexId>> neighborhoods(touched_list.size());
   ForEachIndex(pool, touched_list.size(), [&](uint64_t i) {
     const VertexId v = touched_list[i];
     std::vector<VertexId>& nbrs = neighborhoods[i];
-    for (const VertexId u : graph.out_neighbors(v)) {
+    graph.ForEachOutNeighbor(v, [&](VertexId u) {
       if (u != v) nbrs.push_back(u);
-    }
-    for (const VertexId u : graph.in_neighbors(v)) {
+    });
+    graph.ForEachInSource(v, [&](VertexId u) {
       if (u != v) nbrs.push_back(u);
-    }
+    });
     std::sort(nbrs.begin(), nbrs.end());
     nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
   });

@@ -44,8 +44,9 @@ ReverseAdjacency ReverseWithWeights(const Graph& graph) {
   rev.weights.resize(graph.num_edges());
   std::vector<uint64_t> cursor(graph.in_offsets().begin(),
                                graph.in_offsets().end() - 1);
+  std::vector<VertexId> decode;
   for (VertexId v = 0; v < v_count; ++v) {
-    const auto targets = graph.out_neighbors(v);
+    const auto targets = graph.OutNeighborsInto(v, &decode);
     const auto weights = graph.out_weights(v);
     for (size_t i = 0; i < targets.size(); ++i) {
       const uint64_t slot = cursor[targets[i]]++;
@@ -84,13 +85,14 @@ Result<Graph> ToUndirected(const Graph& graph) {
   bool any_weight = false;
   if (!weighted) {
     std::vector<VertexId> scratch;
+    std::vector<VertexId> decode;
     for (VertexId v = 0; v < v_count; ++v) {
       scratch.clear();
-      const auto out = graph.out_neighbors(v);
+      const auto out = graph.OutNeighborsInto(v, &decode);
       scratch.insert(scratch.end(), out.begin(), out.end());
-      for (const VertexId u : graph.in_neighbors(v)) {
+      graph.ForEachInSource(v, [&](VertexId u) {
         if (u != v) scratch.push_back(u);  // self-loop contributed above
-      }
+      });
       std::sort(scratch.begin(), scratch.end());
       for (size_t i = 0; i < scratch.size(); ++i) {
         if (i != 0 && scratch[i] == scratch[i - 1]) continue;
@@ -100,9 +102,10 @@ Result<Graph> ToUndirected(const Graph& graph) {
     }
   } else {
     std::vector<std::pair<VertexId, float>> scratch;
+    std::vector<VertexId> decode;
     for (VertexId v = 0; v < v_count; ++v) {
       scratch.clear();
-      const auto out = graph.out_neighbors(v);
+      const auto out = graph.OutNeighborsInto(v, &decode);
       for (size_t i = 0; i < out.size(); ++i) {
         scratch.emplace_back(out[i], graph.out_weights(v)[i]);
       }
@@ -160,12 +163,12 @@ Result<SubgraphResult> InducedSubgraph(const Graph& graph,
   std::vector<uint64_t> out_offsets(k + 1, 0);
   std::vector<uint64_t> in_offsets(k + 1, 0);
   for (uint64_t i = 0; i < k; ++i) {
-    for (const VertexId t : graph.out_neighbors(vertices[i])) {
+    graph.ForEachOutNeighbor(vertices[i], [&](VertexId t) {
       const VertexId j = new_id[t];
-      if (j == kAbsent) continue;
+      if (j == kAbsent) return;
       out_offsets[i + 1]++;
       in_offsets[j + 1]++;
-    }
+    });
   }
   for (uint64_t i = 0; i < k; ++i) {
     out_offsets[i + 1] += out_offsets[i];
@@ -184,9 +187,10 @@ Result<SubgraphResult> InducedSubgraph(const Graph& graph,
   std::vector<uint64_t> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
   bool any_weight = false;
   uint64_t out_slot = 0;  // out buckets fill contiguously in i order
+  std::vector<VertexId> decode;
   for (uint64_t i = 0; i < k; ++i) {
     const VertexId v = vertices[i];
-    const auto targets = graph.out_neighbors(v);
+    const auto targets = graph.OutNeighborsInto(v, &decode);
     for (size_t s = 0; s < targets.size(); ++s) {
       const VertexId j = new_id[targets[s]];
       if (j == kAbsent) continue;
@@ -223,8 +227,9 @@ Result<Graph> Transpose(const Graph& graph) {
   std::vector<VertexId> out_targets(graph.num_edges());
   std::vector<float> out_weights(weighted ? graph.num_edges() : 0);
   std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+  std::vector<VertexId> decode;
   for (VertexId v = 0; v < v_count; ++v) {
-    const auto targets = graph.out_neighbors(v);
+    const auto targets = graph.OutNeighborsInto(v, &decode);
     for (size_t s = 0; s < targets.size(); ++s) {
       const uint64_t slot = cursor[targets[s]]++;
       out_targets[slot] = v;
@@ -235,8 +240,16 @@ Result<Graph> Transpose(const Graph& graph) {
   // The transpose's in CSR is the parent's out CSR verbatim.
   std::vector<uint64_t> in_offsets(graph.out_offsets().begin(),
                                    graph.out_offsets().end());
-  std::vector<VertexId> in_sources(graph.out_targets().begin(),
-                                   graph.out_targets().end());
+  std::vector<VertexId> in_sources;
+  if (!graph.edges_compressed()) {
+    in_sources.assign(graph.out_targets().begin(), graph.out_targets().end());
+  } else {
+    in_sources.resize(graph.num_edges());
+    uint64_t slot = 0;
+    for (VertexId v = 0; v < v_count; ++v) {
+      graph.ForEachOutNeighbor(v, [&](VertexId t) { in_sources[slot++] = t; });
+    }
+  }
   return Graph::FromCsr(std::move(out_offsets), std::move(out_targets),
                         std::move(out_weights), std::move(in_offsets),
                         std::move(in_sources));

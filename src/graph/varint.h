@@ -1,0 +1,95 @@
+// Varint/delta codec for compressed CSR adjacency (graph/graph.h).
+//
+// Adjacency lists are stored as zig-zag deltas between consecutive
+// targets, LEB128-varint encoded. Deduplicated CSR lists are sorted
+// ascending, so deltas are small positive gaps (1-2 bytes each on the
+// scale-free graphs this repo models); unsorted lists stay correct via
+// the zig-zag mapping, they just compress less.
+//
+// Decoding is block-wise: DecodeDeltaBlock materializes up to
+// kDecodeBlock targets at a time into a caller buffer, so the engine's
+// scatter loops and Graph::ForEachOutNeighbor alternate a tight decode
+// loop with a tight consume loop instead of interleaving per edge.
+
+#ifndef PREDICT_GRAPH_VARINT_H_
+#define PREDICT_GRAPH_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace predict::varint {
+
+/// Targets materialized per DecodeDeltaBlock call.
+inline constexpr size_t kDecodeBlock = 64;
+
+/// Maximum encoded size of one uint64 (10 LEB128 groups).
+inline constexpr size_t kMaxEncodedBytes = 10;
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends the LEB128 encoding of `v` to `out`.
+inline void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Decodes one LEB128 value; returns the first unread byte. The caller
+/// guarantees `p` points at a complete encoding (streams are only ever
+/// produced by AppendU64 and consumed with exact element counts).
+inline const uint8_t* DecodeU64(const uint8_t* p, uint64_t* v) {
+  uint64_t value = *p & 0x7f;
+  if (*p++ >= 0x80) {
+    uint32_t shift = 7;
+    while (true) {
+      value |= static_cast<uint64_t>(*p & 0x7f) << shift;
+      if (*p++ < 0x80) break;
+      shift += 7;
+    }
+  }
+  *v = value;
+  return p;
+}
+
+/// Appends the zig-zag delta encoding of `targets` (deltas against
+/// `*prev`, which is updated to the last element). Chaining calls with a
+/// shared `prev` concatenates lists into one stream.
+inline void AppendDeltaList(std::span<const uint32_t> targets, uint32_t* prev,
+                            std::vector<uint8_t>* out) {
+  uint32_t last = *prev;
+  for (const uint32_t t : targets) {
+    AppendU64(ZigZag(static_cast<int64_t>(t) - static_cast<int64_t>(last)),
+              out);
+    last = t;
+  }
+  *prev = last;
+}
+
+/// Decodes `count` (<= kDecodeBlock) delta-encoded targets into `out`,
+/// continuing from `*prev`; returns the first unread byte.
+inline const uint8_t* DecodeDeltaBlock(const uint8_t* p, size_t count,
+                                       uint32_t* prev, uint32_t* out) {
+  int64_t last = *prev;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t z;
+    p = DecodeU64(p, &z);
+    last += UnZigZag(z);
+    out[i] = static_cast<uint32_t>(last);
+  }
+  *prev = static_cast<uint32_t>(last);
+  return p;
+}
+
+}  // namespace predict::varint
+
+#endif  // PREDICT_GRAPH_VARINT_H_

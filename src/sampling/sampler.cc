@@ -41,9 +41,11 @@ class PickSet {
 };
 
 // One random-walk step along an outgoing edge; returns false if the
-// current vertex has no outgoing edges (walk must restart).
-bool Step(const Graph& graph, Rng& rng, VertexId& current) {
-  const auto targets = graph.out_neighbors(current);
+// current vertex has no outgoing edges (walk must restart). `scratch`
+// backs the adjacency decode on compressed graphs (unused on plain).
+bool Step(const Graph& graph, Rng& rng, std::vector<VertexId>& scratch,
+          VertexId& current) {
+  const auto targets = graph.OutNeighborsInto(current, &scratch);
   if (targets.empty()) return false;
   current = targets[rng.Uniform(targets.size())];
   return true;
@@ -70,6 +72,7 @@ std::vector<VertexId> JumpWalk(const Graph& graph, const SamplerOptions& options
                                uint64_t target, RestartFn restart) {
   Rng rng(options.seed);
   PickSet picks(graph.num_vertices(), target);
+  std::vector<VertexId> scratch;
   VertexId current = restart(rng);
   picks.Add(current);
   // Guard against pathological graphs (e.g. no outgoing edges anywhere):
@@ -78,7 +81,8 @@ std::vector<VertexId> JumpWalk(const Graph& graph, const SamplerOptions& options
   uint64_t steps = 0;
   while (!picks.Done() && steps < max_steps) {
     ++steps;
-    if (rng.NextBool(options.jump_probability) || !Step(graph, rng, current)) {
+    if (rng.NextBool(options.jump_probability) ||
+        !Step(graph, rng, scratch, current)) {
       current = restart(rng);
     }
     picks.Add(current);
@@ -119,13 +123,16 @@ uint64_t UndirectedDegree(const Graph& graph, VertexId v) {
 }
 
 // One undirected neighbor pick (walks ignore direction, as in Gjoka et al.).
-bool UndirectedStep(const Graph& graph, Rng& rng, VertexId& current) {
-  const auto out = graph.out_neighbors(current);
-  const auto in = graph.in_neighbors(current);
-  const uint64_t degree = out.size() + in.size();
+bool UndirectedStep(const Graph& graph, Rng& rng,
+                    std::vector<VertexId>& out_scratch,
+                    std::vector<VertexId>& in_scratch, VertexId& current) {
+  const uint64_t out_degree = graph.out_degree(current);
+  const uint64_t degree = out_degree + graph.in_degree(current);
   if (degree == 0) return false;
   const uint64_t pick = rng.Uniform(degree);
-  current = pick < out.size() ? out[pick] : in[pick - out.size()];
+  current = pick < out_degree
+                ? graph.OutNeighborsInto(current, &out_scratch)[pick]
+                : graph.InSourcesInto(current, &in_scratch)[pick - out_degree];
   return true;
 }
 
@@ -135,6 +142,7 @@ std::vector<VertexId> RunMetropolisHastings(const Graph& graph,
   const uint64_t n = graph.num_vertices();
   Rng rng(options.seed);
   PickSet picks(graph.num_vertices(), target);
+  std::vector<VertexId> out_scratch, in_scratch;
   VertexId current = static_cast<VertexId>(rng.Uniform(n));
   picks.Add(current);
   const uint64_t max_steps = 400 * target + 1000;
@@ -147,7 +155,7 @@ std::vector<VertexId> RunMetropolisHastings(const Graph& graph,
       continue;
     }
     VertexId proposal = current;
-    if (!UndirectedStep(graph, rng, proposal)) {
+    if (!UndirectedStep(graph, rng, out_scratch, in_scratch, proposal)) {
       current = static_cast<VertexId>(rng.Uniform(n));
       picks.Add(current);
       continue;
@@ -172,6 +180,7 @@ std::vector<VertexId> RunForestFire(const Graph& graph,
   Rng rng(options.seed);
   PickSet picks(graph.num_vertices(), target);
   std::vector<VertexId> frontier;
+  std::vector<VertexId> scratch;
   while (!picks.Done()) {
     // Ignite at a random unvisited vertex.
     VertexId seed = static_cast<VertexId>(rng.Uniform(n));
@@ -181,7 +190,7 @@ std::vector<VertexId> RunForestFire(const Graph& graph,
       const VertexId v = frontier.back();
       frontier.pop_back();
       // Burn a geometric number of untouched out-neighbors.
-      for (const VertexId u : graph.out_neighbors(v)) {
+      for (const VertexId u : graph.OutNeighborsInto(v, &scratch)) {
         if (picks.Done()) break;
         if (!rng.NextBool(options.forward_burning_p)) continue;
         if (picks.Add(u)) frontier.push_back(u);

@@ -130,5 +130,47 @@ TEST(DatasetsTest, DescriptionsNonEmpty) {
   }
 }
 
+// -------------------------------------------------------- scale tier
+
+TEST(ScaleDatasetsTest, RegistryListsRmatTier) {
+  const auto names = ScaleDatasetNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "rmat10m");
+  EXPECT_EQ(names[1], "rmat100m");
+  for (const auto& info : ScaleDatasets()) {
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_GE(info.approx_edges, 10000000u);
+  }
+}
+
+TEST(ScaleDatasetsTest, RmatTierShipsCompressedAndDeterministic) {
+  // Scale far down for the unit suite: representation and determinism
+  // are scale-independent, the 10M-edge count is pinned by the
+  // rmat_scale_gate bench at scale 1.
+  auto a = MakeDataset("rmat10m", 0.01);
+  auto b = MakeDataset("rmat10m", 0.01);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->edges_compressed());
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint());
+  EXPECT_GT(a->num_edges(), 0u);
+  // 2^17 vertices at scale 1, shrunk by whole powers of two.
+  EXPECT_LT(a->num_vertices(), 131072u);
+}
+
+TEST(ScaleDatasetsTest, ScaleTierRunsEndToEnd) {
+  // A tiny slice of the compressed RMAT graph must flow through the
+  // stock runner path (sampling + engine) like any paper dataset.
+  auto g = MakeDataset("rmat10m", 0.002);
+  ASSERT_TRUE(g.ok());
+  RunOptions run_options;
+  run_options.engine = PaperClusterOptions();
+  run_options.engine.memory_budget_bytes = 0;  // not the OOM test
+  run_options.config_overrides = {{"tau", 1e-4}};
+  EXPECT_TRUE(RunAlgorithmByName("pagerank", *g, run_options).ok());
+  run_options.config_overrides = {};
+  EXPECT_TRUE(RunAlgorithmByName("connected_components", *g, run_options).ok());
+}
+
 }  // namespace
 }  // namespace predict

@@ -231,6 +231,98 @@ TEST(DeterminismTest, AlternativePartitionersAreInternallyDeterministic) {
   }
 }
 
+// ----------------------------------------- superstep path bit-identity
+
+// The dense flat-array path must be indistinguishable from the sparse
+// worklist path in everything but host wall clock — and the adaptive
+// policy flips between them mid-run, so the guarantee must hold for any
+// interleaving. Pins PageRank (every superstep fully active), connected
+// components (dense head, long sparse tail: the adaptive run actually
+// transitions) and semi-clustering across paths x thread counts against
+// the always-sparse fingerprint.
+TEST(DeterminismTest, SuperstepPathsBitIdentical) {
+  struct PathCase {
+    bsp::SuperstepPath path;
+    double threshold;
+  };
+  const PathCase cases[] = {
+      {bsp::SuperstepPath::kAdaptive, 0.6},
+      {bsp::SuperstepPath::kAdaptive, 0.2},  // transitions earlier
+      {bsp::SuperstepPath::kDense, 0.6},
+  };
+  for (const int threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EngineOptions sparse = ClusterOptions(threads);
+    sparse.superstep_path = bsp::SuperstepPath::kSparse;
+
+    auto pr = RunPageRank(GoldenPrGraph(), {{"tau", 1e-6}}, sparse);
+    auto cc = RunConnectedComponents(GoldenCcGraph(), sparse);
+    auto sc = RunSemiClustering(GoldenScGraph(), {}, sparse);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(cc.ok());
+    ASSERT_TRUE(sc.ok());
+    const uint64_t pr_fp =
+        FingerprintDoubles(pr->ranks, FingerprintRunStats(pr->stats));
+    const uint64_t cc_fp =
+        FingerprintIds(cc->labels, FingerprintRunStats(cc->stats));
+    const uint64_t sc_fp = FingerprintRunStats(sc->stats);
+
+    for (const PathCase& c : cases) {
+      SCOPED_TRACE(std::string(bsp::SuperstepPathName(c.path)) +
+                   " threshold=" + std::to_string(c.threshold));
+      EngineOptions options = sparse;
+      options.superstep_path = c.path;
+      options.dense_path_threshold = c.threshold;
+
+      auto pr2 = RunPageRank(GoldenPrGraph(), {{"tau", 1e-6}}, options);
+      ASSERT_TRUE(pr2.ok());
+      EXPECT_EQ(FingerprintDoubles(pr2->ranks, FingerprintRunStats(pr2->stats)),
+                pr_fp);
+
+      auto cc2 = RunConnectedComponents(GoldenCcGraph(), options);
+      ASSERT_TRUE(cc2.ok());
+      EXPECT_EQ(FingerprintIds(cc2->labels, FingerprintRunStats(cc2->stats)),
+                cc_fp);
+
+      auto sc2 = RunSemiClustering(GoldenScGraph(), {}, options);
+      ASSERT_TRUE(sc2.ok());
+      EXPECT_EQ(FingerprintRunStats(sc2->stats), sc_fp);
+    }
+  }
+}
+
+// A compressed input graph runs through the SAME engine paths and must
+// produce bit-identical RESULTS: the representation changes decode cost
+// and simulated memory accounting (a compressed graph genuinely occupies
+// fewer simulated bytes — that is the point), never ranks, iteration
+// count, or message traffic. The Run* wrappers set
+// EngineOptions::compressed_graph from the graph they pass the engine.
+TEST(DeterminismTest, CompressedGraphRunsBitIdenticalToPlain) {
+  const Graph compressed = Graph::WithCompressedEdges(GoldenPrGraph());
+  auto plain_run =
+      RunPageRank(GoldenPrGraph(), {{"tau", 1e-6}}, ClusterOptions(0));
+  ASSERT_TRUE(plain_run.ok());
+  for (const int threads : kThreadCounts) {
+    auto run = RunPageRank(compressed, {{"tau", 1e-6}}, ClusterOptions(threads));
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run->ranks, plain_run->ranks);
+    ASSERT_EQ(run->stats.num_supersteps(), plain_run->stats.num_supersteps());
+    EXPECT_EQ(run->stats.halt_reason, plain_run->stats.halt_reason);
+    EXPECT_EQ(run->stats.superstep_phase_seconds,
+              plain_run->stats.superstep_phase_seconds);
+    for (int s = 0; s < run->stats.num_supersteps(); ++s) {
+      const auto a = run->stats.supersteps[s].Totals();
+      const auto b = plain_run->stats.supersteps[s].Totals();
+      EXPECT_EQ(a.total_messages(), b.total_messages()) << "superstep " << s;
+      EXPECT_EQ(a.total_message_bytes(), b.total_message_bytes())
+          << "superstep " << s;
+    }
+    // The representation shrinks simulated memory, never grows it.
+    EXPECT_LT(run->stats.peak_memory_bytes, plain_run->stats.peak_memory_bytes);
+  }
+}
+
 // ----------------------------------------------------- delivery ordering
 
 // Non-commutative inbox fold: value <- value * 7 + message. Any change
@@ -276,6 +368,27 @@ TEST(DeterminismTest, DeliveryOrderIsSenderWorkerThenSendOrder) {
     ASSERT_TRUE(engine.Run(g, &program).ok()) << "threads=" << threads;
     EXPECT_EQ(engine.vertex_values()[0], expected) << "threads=" << threads;
   }
+}
+
+// A mismatched compressed_graph flag must fail loudly, not silently
+// mis-simulate: the strict check is what keeps profile caches honest
+// when direct Engine users pass their own options.
+TEST(DeterminismTest, EngineRejectsCompressedFlagMismatch) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  const Graph plain = b.Build().MoveValue();
+  Graph compressed = Graph::WithCompressedEdges(plain);
+  HashChainProgram program;
+
+  EngineOptions options;
+  options.num_workers = 2;
+  options.compressed_graph = true;  // but the graph is plain
+  Engine<int64_t, int64_t> engine(options);
+  EXPECT_TRUE(engine.Run(plain, &program).status().IsInvalidArgument());
+
+  options.compressed_graph = false;  // but the graph is compressed
+  Engine<int64_t, int64_t> engine2(options);
+  EXPECT_TRUE(engine2.Run(compressed, &program).status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <vector>
+
 #include "graph/generators.h"
 #include "graph/stats.h"
 
@@ -167,6 +171,52 @@ TEST(RmatTest, SkewedQuadrantsProduceHubs) {
   const Graph g = GenerateRmat({14, 130000, 0.57, 0.19, 0.19, 3}).MoveValue();
   const DegreeStats out = ComputeOutDegreeStats(g);
   EXPECT_GT(out.max, 40 * std::max(1.0, out.mean));
+}
+
+TEST(RmatTest, ByteIdenticalForSeed) {
+  // The scale-tier datasets lean on this: regenerating an RMAT graph
+  // from its seed must reproduce every CSR array bit-identically (the
+  // generator is single-threaded by design, so host thread count cannot
+  // perturb it either).
+  const Graph a = GenerateRmat({14, 500000, 0.57, 0.19, 0.19, 55}).MoveValue();
+  const Graph b = GenerateRmat({14, 500000, 0.57, 0.19, 0.19, 55}).MoveValue();
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.out_offsets().begin(), a.out_offsets().end(),
+                         b.out_offsets().begin(), b.out_offsets().end()));
+  EXPECT_TRUE(std::equal(a.out_targets().begin(), a.out_targets().end(),
+                         b.out_targets().begin(), b.out_targets().end()));
+  EXPECT_TRUE(std::equal(a.in_sources().begin(), a.in_sources().end(),
+                         b.in_sources().begin(), b.in_sources().end()));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(RmatTest, DifferentSeedsDiffer) {
+  const Graph a = GenerateRmat({12, 100000, 0.57, 0.19, 0.19, 55}).MoveValue();
+  const Graph b = GenerateRmat({12, 100000, 0.57, 0.19, 0.19, 56}).MoveValue();
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(RmatTest, TopOnePercentHoldsScaleFreeShare) {
+  // Scale-free-ish skew check: with the Graph500 quadrant weights the
+  // top 1% of vertices by out-degree must hold far more than their
+  // uniform 1% share of edges, but not literally all of them.
+  const Graph g = GenerateRmat({14, 500000, 0.57, 0.19, 0.19, 7}).MoveValue();
+  std::vector<uint64_t> degrees;
+  degrees.reserve(g.num_vertices());
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees.push_back(g.out_degree(v));
+    total += g.out_degree(v);
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<uint64_t>());
+  const size_t top = std::max<size_t>(1, degrees.size() / 100);
+  uint64_t held = 0;
+  for (size_t i = 0; i < top; ++i) held += degrees[i];
+  const double share =
+      static_cast<double>(held) / static_cast<double>(total);
+  EXPECT_GT(share, 0.10);  // far above the uniform 0.01
+  EXPECT_LT(share, 0.90);  // but hubs do not own the whole graph
 }
 
 TEST(RmatTest, RejectsBadProbabilities) {

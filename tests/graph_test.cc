@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
+#include "datasets/datasets.h"
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/transforms.h"
@@ -345,6 +348,116 @@ TEST(TransformsTest, DoubleTransposeIsIdentity) {
   for (VertexId v = 0; v < 3; ++v) {
     EXPECT_EQ(tt->out_degree(v), g.out_degree(v));
     EXPECT_EQ(tt->out_neighbors(v)[0], g.out_neighbors(v)[0]);
+  }
+}
+
+// ------------------------------------------------------- compressed edges
+
+// Structural equality witness for compress -> decompress round-trips:
+// every flat CSR array must come back byte-identical.
+void ExpectSameStructure(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.out_offsets().begin(), a.out_offsets().end(),
+                         b.out_offsets().begin(), b.out_offsets().end()));
+  EXPECT_TRUE(std::equal(a.out_targets().begin(), a.out_targets().end(),
+                         b.out_targets().begin(), b.out_targets().end()));
+  EXPECT_TRUE(std::equal(a.in_offsets().begin(), a.in_offsets().end(),
+                         b.in_offsets().begin(), b.in_offsets().end()));
+  EXPECT_TRUE(std::equal(a.in_sources().begin(), a.in_sources().end(),
+                         b.in_sources().begin(), b.in_sources().end()));
+}
+
+TEST(CompressedEdgesTest, RoundTripsBitIdenticalForEveryDataset) {
+  for (const std::string& name : PaperDatasetNames()) {
+    SCOPED_TRACE(name);
+    const Graph plain = MakeDataset(name, 0.05).MoveValue();
+    Graph compressed = Graph::WithCompressedEdges(
+        MakeDataset(name, 0.05).MoveValue());
+    EXPECT_TRUE(compressed.edges_compressed());
+    EXPECT_FALSE(plain.edges_compressed());
+    // Logical identity survives the representation change.
+    EXPECT_EQ(plain.Fingerprint(), compressed.Fingerprint());
+    EXPECT_EQ(plain.ToEdgeList(), compressed.ToEdgeList());
+    // And the inverse restores every flat array bit-identically.
+    const Graph restored = Graph::WithPlainEdges(std::move(compressed));
+    EXPECT_FALSE(restored.edges_compressed());
+    ExpectSameStructure(plain, restored);
+    EXPECT_EQ(plain.Fingerprint(), restored.Fingerprint());
+  }
+}
+
+TEST(CompressedEdgesTest, PerVertexAccessorsMatchPlain) {
+  const Graph plain = MakeDataset("wiki", 0.05).MoveValue();
+  const Graph compressed =
+      Graph::WithCompressedEdges(MakeDataset("wiki", 0.05).MoveValue());
+  std::vector<VertexId> scratch;
+  for (VertexId v = 0; v < plain.num_vertices(); ++v) {
+    ASSERT_EQ(plain.out_degree(v), compressed.out_degree(v));
+    const auto want = plain.out_neighbors(v);
+    const auto got = compressed.OutNeighborsInto(v, &scratch);
+    ASSERT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()));
+    const auto want_in = plain.in_neighbors(v);
+    const auto got_in = compressed.InSourcesInto(v, &scratch);
+    ASSERT_TRUE(std::equal(want_in.begin(), want_in.end(), got_in.begin(),
+                           got_in.end()));
+  }
+}
+
+TEST(CompressedEdgesTest, ForEachVisitsInOrder) {
+  const Graph compressed =
+      Graph::WithCompressedEdges(MakeDataset("lj", 0.05).MoveValue());
+  const Graph plain = Graph::WithPlainEdges(
+      Graph::WithCompressedEdges(MakeDataset("lj", 0.05).MoveValue()));
+  for (VertexId v = 0; v < plain.num_vertices(); ++v) {
+    std::vector<VertexId> visited;
+    compressed.ForEachOutNeighbor(
+        v, [&](VertexId u) { visited.push_back(u); });
+    const auto want = plain.out_neighbors(v);
+    ASSERT_TRUE(
+        std::equal(want.begin(), want.end(), visited.begin(), visited.end()));
+  }
+}
+
+TEST(CompressedEdgesTest, CompressionShrinksEdgeStorage) {
+  // Sorted adjacency means small deltas; varint coding must beat the
+  // flat 4-byte representation on every paper dataset.
+  for (const std::string& name : PaperDatasetNames()) {
+    SCOPED_TRACE(name);
+    const Graph plain = MakeDataset(name, 0.1).MoveValue();
+    const Graph compressed =
+        Graph::WithCompressedEdges(MakeDataset(name, 0.1).MoveValue());
+    EXPECT_LT(compressed.EdgeStorageBytes(), plain.EdgeStorageBytes());
+    EXPECT_LT(compressed.MemoryFootprintBytes(), plain.MemoryFootprintBytes());
+  }
+}
+
+TEST(CompressedEdgesTest, BuilderFlagCompresses) {
+  GraphBuilder b(4);
+  b.set_compress_edges(true);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 3);
+  b.AddEdge(2, 0);
+  const Graph g = b.Build().MoveValue();
+  EXPECT_TRUE(g.edges_compressed());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  std::vector<VertexId> scratch;
+  const auto n0 = g.OutNeighborsInto(0, &scratch);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 3u);
+}
+
+TEST(CompressedEdgesTest, EmptyAndEdgelessGraphs) {
+  GraphBuilder b(5);
+  b.set_compress_edges(true);
+  const Graph g = b.Build().MoveValue();
+  EXPECT_TRUE(g.edges_compressed());
+  EXPECT_EQ(g.num_edges(), 0u);
+  std::vector<VertexId> scratch;
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.OutNeighborsInto(v, &scratch).empty());
   }
 }
 

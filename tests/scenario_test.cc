@@ -103,6 +103,24 @@ TEST(ScenarioTest, EngineKeysAreCanonicalAndDistinct) {
   EXPECT_NE(ScenarioKey(changed), ScenarioKey(base));
 }
 
+TEST(ScenarioTest, ExecutionModeKnobsMoveTheEngineKey) {
+  // superstep path, dense threshold and edge representation never change
+  // simulated output, but they change what executed — profiles must not
+  // wrong-hit across them (the SamplerOptionsKey discipline).
+  const bsp::EngineOptions base = PaperClusterOptions();
+  bsp::EngineOptions changed = base;
+  changed.superstep_path = bsp::SuperstepPath::kSparse;
+  EXPECT_NE(EngineOptionsKey(changed), EngineOptionsKey(base));
+  changed.superstep_path = bsp::SuperstepPath::kDense;
+  EXPECT_NE(EngineOptionsKey(changed), EngineOptionsKey(base));
+  changed = base;
+  changed.dense_path_threshold = 0.31;
+  EXPECT_NE(EngineOptionsKey(changed), EngineOptionsKey(base));
+  changed = base;
+  changed.compressed_graph = true;
+  EXPECT_NE(EngineOptionsKey(changed), EngineOptionsKey(base));
+}
+
 TEST(ScenarioTest, SpeedFactorsMoveTheCriticalPath) {
   bsp::CostProfile profile;
   profile.noise_sigma = 0.0;

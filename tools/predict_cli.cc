@@ -24,8 +24,9 @@
 //   predict_cli bound     --epsilon E [--damping D]
 //
 // Engine flags (run/predict/batch): [--scenario NAME] [--workers N]
-// [--partition hash|range|edge] — --scenario picks a registry deployment,
-// the others override it.
+// [--partition hash|range|edge] [--path adaptive|sparse|dense]
+// [--dense-threshold X] — --scenario picks a registry deployment, the
+// others override it.
 //
 // Robustness flags (predict/batch): [--failpoints name=spec;...]
 // [--retries N] [--deadline S] [--degraded]; batch adds [--fail-fast]
@@ -286,20 +287,44 @@ Result<bsp::EngineOptions> EngineFromFlags(const Flags& flags) {
     PREDICT_ASSIGN_OR_RETURN(engine.partition,
                              bsp::ParsePartitionStrategy(partition));
   }
+  // Superstep execution path: adaptive (default) switches between the
+  // worklist and dense flat-array paths per superstep; sparse/dense pin
+  // one path. Results are bit-identical either way — these flags trade
+  // host wall clock only.
+  const std::string path = GetFlag(flags, "path");
+  if (!path.empty()) {
+    if (path == "adaptive") {
+      engine.superstep_path = bsp::SuperstepPath::kAdaptive;
+    } else if (path == "sparse") {
+      engine.superstep_path = bsp::SuperstepPath::kSparse;
+    } else if (path == "dense") {
+      engine.superstep_path = bsp::SuperstepPath::kDense;
+    } else {
+      return Status::InvalidArgument(
+          "--path expects adaptive|sparse|dense, got '" + path + "'");
+    }
+  }
+  PREDICT_ASSIGN_OR_RETURN(
+      engine.dense_path_threshold,
+      ParseDoubleFlag(flags, "dense-threshold", engine.dense_path_threshold));
   return engine;
 }
 
 // --------------------------------------------------------------- commands
 
 int CmdDatasets() {
-  std::printf("%-6s %-10s %-12s %-11s %s\n", "name", "#nodes", "~#edges",
+  const auto print_group = [](const std::vector<DatasetInfo>& group) {
+    for (const DatasetInfo& info : group) {
+      std::printf("%-8s %-10u %-12llu %-11s %s\n", info.name.c_str(),
+                  info.num_vertices,
+                  static_cast<unsigned long long>(info.approx_edges),
+                  info.scale_free ? "yes" : "no", info.description.c_str());
+    }
+  };
+  std::printf("%-8s %-10s %-12s %-11s %s\n", "name", "#nodes", "~#edges",
               "scale-free", "description");
-  for (const DatasetInfo& info : PaperDatasets()) {
-    std::printf("%-6s %-10u %-12llu %-11s %s\n", info.name.c_str(),
-                info.num_vertices,
-                static_cast<unsigned long long>(info.approx_edges),
-                info.scale_free ? "yes" : "no", info.description.c_str());
-  }
+  print_group(PaperDatasets());
+  print_group(ScaleDatasets());
   return 0;
 }
 
@@ -394,8 +419,9 @@ int CmdRun(const Flags& flags) {
               FormatBytes(stats.peak_memory_bytes).c_str());
   for (const auto& step : stats.supersteps) {
     const bsp::WorkerCounters totals = step.Totals();
-    std::printf("  superstep %2d: %s, %llu msgs (%s), %llu active\n",
-                step.superstep, FormatSeconds(step.simulated_seconds).c_str(),
+    std::printf("  superstep %2d [%s]: %s, %llu msgs (%s), %llu active\n",
+                step.superstep, step.dense_path ? "dense" : "sparse",
+                FormatSeconds(step.simulated_seconds).c_str(),
                 static_cast<unsigned long long>(totals.total_messages()),
                 FormatBytes(totals.total_message_bytes()).c_str(),
                 static_cast<unsigned long long>(totals.active_vertices));
@@ -903,7 +929,8 @@ int Usage() {
       "  history    --file F [--algorithm A] [--list] [--export F2]\n"
       "  bound      --epsilon E [--damping D]\n"
       "engine flags (run/predict/batch): [--scenario NAME] [--workers N]\n"
-      "             [--partition hash|range|edge]\n"
+      "             [--partition hash|range|edge] [--path adaptive|sparse|dense]\n"
+      "             [--dense-threshold X]\n"
       "algorithms:");
   for (const auto& name : RegisteredAlgorithmNames()) {
     std::fprintf(stderr, " %s", name.c_str());
