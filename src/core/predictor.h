@@ -175,6 +175,14 @@ struct PredictionReport {
   /// determinism byte-compares (see RequestAccounting).
   RequestAccounting accounting;
 
+  /// Of the five pipeline stages, how many this request served from
+  /// cached artifacts vs actually executed (PredictionService fills
+  /// these; a bare Predictor always recomputes all five). Like
+  /// `accounting`, a property of the execution rather than the
+  /// prediction: excluded from determinism byte-compares.
+  int stages_reused = 0;
+  int stages_recomputed = 5;
+
   /// Predicted total remote message bytes on the critical-path worker
   /// (the Figure-6 "remote message bytes" key feature).
   double PredictedCriticalRemoteBytes() const;

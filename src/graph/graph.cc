@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
+#include <unordered_map>
 
 namespace predict {
 
@@ -90,6 +92,15 @@ Result<Graph> Graph::FromEdges(VertexId num_vertices,
                                std::vector<Edge>&& edges) {
   GraphBuilder builder(num_vertices);
   builder.AddEdges(std::move(edges));
+  return builder.Build();
+}
+
+Result<Graph> Graph::FromEdges(
+    VertexId num_vertices, const std::vector<Edge>& edges,
+    const std::vector<std::pair<VertexId, VertexId>>& removals) {
+  GraphBuilder builder(num_vertices);
+  builder.AddEdges(edges);
+  for (const auto& [src, dst] : removals) builder.RemoveEdge(src, dst);
   return builder.Build();
 }
 
@@ -302,6 +313,47 @@ uint64_t Graph::FingerprintComputationsForTest() {
   return g_fingerprint_computations.load(std::memory_order_relaxed);
 }
 
+namespace {
+
+// splitmix64 finalizer: the per-edge mixer behind EdgeHash.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t Graph::EdgeHash(VertexId src, VertexId dst, float weight) {
+  uint32_t wbits;
+  static_assert(sizeof(wbits) == sizeof(weight));
+  std::memcpy(&wbits, &weight, sizeof(wbits));
+  const uint64_t endpoints =
+      (static_cast<uint64_t>(src) << 32) | static_cast<uint64_t>(dst);
+  // Two dependent mixing rounds: a single splitmix of the packed word
+  // leaves additive structure that a *sum* of hashes would expose.
+  return Mix64(Mix64(endpoints) ^ (static_cast<uint64_t>(wbits) + 0x51ED270B));
+}
+
+uint64_t Graph::EdgeSetHash() const {
+  const uint64_t v_count = num_vertices();
+  uint64_t sum = Mix64(v_count ^ 0xE0D1F1A6C5B49382ULL);
+  std::vector<VertexId> scratch;
+  for (uint64_t v = 0; v < v_count; ++v) {
+    const auto targets = OutNeighborsInto(static_cast<VertexId>(v), &scratch);
+    const std::span<const float> weights =
+        is_weighted_ ? out_weights(static_cast<VertexId>(v))
+                     : std::span<const float>{};
+    for (size_t i = 0; i < targets.size(); ++i) {
+      sum += EdgeHash(static_cast<VertexId>(v), targets[i],
+                      is_weighted_ ? weights[i] : 1.0f);
+    }
+  }
+  if (sum == 0) sum = 1;
+  return sum;
+}
+
 std::string Graph::ToString() const {
   char buf[112];
   std::snprintf(buf, sizeof(buf), "Graph(|V|=%llu, |E|=%llu%s%s)",
@@ -321,6 +373,46 @@ Result<Graph> GraphBuilder::Build() {
           ") references a vertex >= num_vertices=" +
           std::to_string(num_vertices_));
     }
+  }
+
+  // Apply removals: each deletes one matching pending edge (first-added
+  // occurrence). Validated strictly — a removal that names an unknown
+  // vertex or fails to find an edge (non-existent edge, absent
+  // self-loop, duplicate removal beyond the multiplicity) is an error
+  // carrying the offending pair, never a silent no-op.
+  if (!removals_.empty()) {
+    const auto pack = [](VertexId s, VertexId d) {
+      return (static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(d);
+    };
+    for (const auto& [src, dst] : removals_) {
+      if (src >= num_vertices_ || dst >= num_vertices_) {
+        return Status::InvalidArgument(
+            "edge removal (" + std::to_string(src) + " -> " +
+            std::to_string(dst) + ") references a vertex >= num_vertices=" +
+            std::to_string(num_vertices_));
+      }
+    }
+    std::unordered_map<uint64_t, uint64_t> pending;  // pair -> removals left
+    for (const auto& [src, dst] : removals_) pending[pack(src, dst)]++;
+    uint64_t write = 0;
+    for (const Edge& e : edges_) {
+      const auto it = pending.find(pack(e.src, e.dst));
+      if (it != pending.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      edges_[write++] = e;
+    }
+    edges_.resize(write);
+    for (const auto& [src, dst] : removals_) {
+      const auto it = pending.find(pack(src, dst));
+      if (it != pending.end() && it->second > 0) {
+        return Status::InvalidArgument(
+            "removal of a non-existent edge (" + std::to_string(src) +
+            " -> " + std::to_string(dst) + ")");
+      }
+    }
+    removals_.clear();
   }
 
   if (drop_self_loops_) {

@@ -59,6 +59,15 @@ struct SampleArtifact {
   /// The realized sampling ratio, read from the Sample (never
   /// recomputed downstream).
   double realized_ratio() const { return sample.realized_ratio; }
+
+  /// Identity of the sample's *content* (subgraph fingerprint + sizes +
+  /// realized ratio), independent of which graph version it was drawn
+  /// from. Downstream stages (profile onward) consume only the content,
+  /// so caches keyed on this string keep hitting across graph churn
+  /// that leaves the sample unchanged — the heart of stale-artifact-only
+  /// re-prediction. Equal ContentKey() ⇒ byte-identical downstream
+  /// artifacts (the engine is deterministic).
+  std::string ContentKey() const;
 };
 
 /// Output of TransformStage: the resolved actual-run configuration and

@@ -49,6 +49,17 @@ std::string SampleKey::ToString() const {
   return fp + SamplerOptionsKey(options);
 }
 
+std::string SampleArtifact::ContentKey() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "sfp=%016llx;sv=%llu;se=%llu;ov=%llu;ratio=%.17g",
+                static_cast<unsigned long long>(sample.subgraph.Fingerprint()),
+                static_cast<unsigned long long>(sample.subgraph.num_vertices()),
+                static_cast<unsigned long long>(sample.subgraph.num_edges()),
+                static_cast<unsigned long long>(sample.original_num_vertices),
+                sample.realized_ratio);
+  return buf;
+}
+
 std::string TransformArtifact::ConfigKey() const {
   std::string key;
   for (const auto& [name, value] : sample_config) {
@@ -67,6 +78,46 @@ Result<SampleArtifact> SampleStage::Run(const Graph& graph,
     PREDICT_FAIL_POINT_CTX("sample.walk",
                            fail::HashContext(artifact.key.ToString()));
     PREDICT_ASSIGN_OR_RETURN(artifact.sample, SampleGraph(graph, options_));
+    return artifact;
+  });
+}
+
+Result<SampleArtifact> SampleStage::RunRecorded(const Graph& graph,
+                                                SampleWalkRecord* record,
+                                                const StageContext& ctx) const {
+  return RunStage("sample_stage", ctx, [&]() -> Result<SampleArtifact> {
+    SampleArtifact artifact;
+    artifact.key = SampleKey::For(graph, options_);
+    PREDICT_FAIL_POINT_CTX("sample.walk",
+                           fail::HashContext(artifact.key.ToString()));
+    PREDICT_ASSIGN_OR_RETURN(artifact.sample,
+                             SampleGraphRecorded(graph, options_, record));
+    return artifact;
+  });
+}
+
+Result<SampleArtifact> SampleStage::RunIncremental(
+    const Graph& graph, const std::vector<VertexId>& dirty,
+    const SampleWalkRecord& record, SampleWalkRecord* updated,
+    IncrementalStats* stats, const StageContext& ctx) const {
+  return RunStage("sample_stage", ctx, [&]() -> Result<SampleArtifact> {
+    if (!(record.options == options_)) {
+      return Status::InvalidArgument(
+          "walk record was made with different sampler options");
+    }
+    SampleArtifact artifact;
+    artifact.key = SampleKey::For(graph, options_);
+    PREDICT_FAIL_POINT_CTX("sample.walk",
+                           fail::HashContext(artifact.key.ToString()));
+    PREDICT_ASSIGN_OR_RETURN(
+        IncrementalSampleResult incremental,
+        ResampleIncremental(graph, dirty, record, updated));
+    if (stats != nullptr) {
+      stats->segments_total = incremental.segments_total;
+      stats->segments_reused = incremental.segments_reused;
+      stats->full_resample = incremental.full_resample;
+    }
+    artifact.sample = std::move(incremental.sample);
     return artifact;
   });
 }

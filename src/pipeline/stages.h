@@ -51,6 +51,33 @@ class SampleStage {
   Result<SampleArtifact> Run(const Graph& graph,
                              const StageContext& ctx = {}) const;
 
+  /// Run, additionally filling `record` (non-null) with the walk
+  /// trajectories so the sample can later be maintained incrementally.
+  /// Artifact is bit-identical to Run's.
+  Result<SampleArtifact> RunRecorded(const Graph& graph,
+                                     SampleWalkRecord* record,
+                                     const StageContext& ctx = {}) const;
+
+  /// How an incremental stage run got its sample.
+  struct IncrementalStats {
+    uint64_t segments_total = 0;
+    uint64_t segments_reused = 0;
+    bool full_resample = false;
+  };
+
+  /// Re-derives the sample for a mutated `graph`, re-walking only
+  /// segments whose trajectory touched a vertex in `dirty` (see
+  /// ResampleIncremental). The artifact is bit-identical to Run(graph)
+  /// with the same options; `updated` (non-null, distinct from
+  /// `record`) receives the new walk record and `stats` (may be null)
+  /// the reuse counts.
+  Result<SampleArtifact> RunIncremental(const Graph& graph,
+                                        const std::vector<VertexId>& dirty,
+                                        const SampleWalkRecord& record,
+                                        SampleWalkRecord* updated,
+                                        IncrementalStats* stats,
+                                        const StageContext& ctx = {}) const;
+
   const SamplerOptions& options() const { return options_; }
 
  private:

@@ -104,6 +104,110 @@ std::vector<VertexId> RunRandomJump(const Graph& graph,
   });
 }
 
+// --- Segmented walks (walk_segment_steps > 0, RJ/BRJ only) ---
+//
+// The classic JumpWalk is one sequential RNG stream: any divergence
+// cascades through the rest of the walk, so nothing survives a graph
+// mutation. Segmented mode chops the walk into fixed-length segments,
+// segment i drawing from the independent stream Rng(seed).Fork(i). A
+// segment's trajectory then depends only on the out-rows of the vertices
+// it visits — the invariant ResampleIncremental's splicing rests on.
+
+// Stream id for the uniform remainder fill; far above any segment index.
+constexpr uint64_t kFillStream = ~uint64_t{0};
+
+// Walks exactly walk_segment_steps steps (plus the starting restart),
+// appending every visited vertex to *trajectory.
+template <typename RestartFn>
+void WalkSegment(const Graph& graph, const SamplerOptions& options,
+                 uint64_t segment, RestartFn&& restart,
+                 std::vector<VertexId>* trajectory) {
+  Rng rng = Rng(options.seed).Fork(segment);
+  std::vector<VertexId> scratch;
+  VertexId current = restart(rng);
+  trajectory->push_back(current);
+  for (uint64_t s = 0; s < options.walk_segment_steps; ++s) {
+    if (rng.NextBool(options.jump_probability) ||
+        !Step(graph, rng, scratch, current)) {
+      current = restart(rng);
+    }
+    trajectory->push_back(current);
+  }
+}
+
+// Composes segments in order, adding trajectory vertices to the pick set
+// until the target is reached; generates segment i only while the step
+// budget (the classic walk's max_steps cap) allows. Records full
+// trajectories when `record` is non-null.
+template <typename RestartFn>
+std::vector<VertexId> RunSegmented(const Graph& graph,
+                                   const SamplerOptions& options,
+                                   uint64_t target, RestartFn restart,
+                                   SampleWalkRecord* record) {
+  const uint64_t n = graph.num_vertices();
+  const uint64_t segment_steps = options.walk_segment_steps;
+  const uint64_t max_steps = 200 * target + 1000;
+  PickSet picks(n, target);
+  std::vector<VertexId> visits;
+  std::vector<uint64_t> offsets{0};
+  for (uint64_t i = 0; !picks.Done() && i * segment_steps < max_steps; ++i) {
+    const size_t begin = visits.size();
+    WalkSegment(graph, options, i, restart, &visits);
+    offsets.push_back(visits.size());
+    for (size_t p = begin; p < visits.size() && !picks.Done(); ++p) {
+      picks.Add(visits[p]);
+    }
+  }
+  Rng fill = Rng(options.seed).Fork(kFillStream);
+  while (!picks.Done()) {
+    picks.Add(static_cast<VertexId>(fill.Uniform(n)));
+  }
+  if (record != nullptr) {
+    record->segment_offsets = std::move(offsets);
+    record->touched.assign(n, 0);
+    for (const VertexId v : visits) record->touched[v] = 1;
+    record->visits = std::move(visits);
+  }
+  return std::move(picks.order());
+}
+
+std::vector<VertexId> BrjSeeds(const Graph& graph,
+                               const SamplerOptions& options) {
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(options.seed_fraction *
+                          static_cast<double>(graph.num_vertices()))));
+  return TopOutDegreeSeeds(graph, k);
+}
+
+// Dispatches a segmented RJ/BRJ run; `record`, when non-null, also
+// receives the BRJ seed set.
+Result<std::vector<VertexId>> RunSegmentedKind(const Graph& graph,
+                                               const SamplerOptions& options,
+                                               uint64_t target,
+                                               SampleWalkRecord* record) {
+  const uint64_t n = graph.num_vertices();
+  switch (options.kind) {
+    case SamplerKind::kRandomJump:
+      return RunSegmented(
+          graph, options, target,
+          [n](Rng& rng) { return static_cast<VertexId>(rng.Uniform(n)); },
+          record);
+    case SamplerKind::kBiasedRandomJump: {
+      const std::vector<VertexId> seeds = BrjSeeds(graph, options);
+      auto picked = RunSegmented(
+          graph, options, target,
+          [&seeds](Rng& rng) { return seeds[rng.Uniform(seeds.size())]; },
+          record);
+      if (record != nullptr) record->brj_seeds = seeds;
+      return picked;
+    }
+    default:
+      return Status::InvalidArgument(
+          "walk_segment_steps requires the RJ or BRJ sampler");
+  }
+}
+
 std::vector<VertexId> RunBiasedRandomJump(const Graph& graph,
                                           const SamplerOptions& options,
                                           uint64_t target) {
@@ -233,15 +337,31 @@ std::string SamplerOptionsKey(const SamplerOptions& options) {
   char buf[192];
   const int len = format(buf, sizeof(buf));
   if (len < 0) return SamplerKindName(options.kind);  // cannot happen
-  if (static_cast<size_t>(len) < sizeof(buf)) return std::string(buf, len);
-  std::string key(static_cast<size_t>(len) + 1, '\0');
-  format(key.data(), key.size());
-  key.resize(static_cast<size_t>(len));
+  std::string key;
+  if (static_cast<size_t>(len) < sizeof(buf)) {
+    key.assign(buf, static_cast<size_t>(len));
+  } else {
+    key.assign(static_cast<size_t>(len) + 1, '\0');
+    format(key.data(), key.size());
+    key.resize(static_cast<size_t>(len));
+  }
+  // Segmented walks sample a different (equally valid) vertex set, so
+  // the segment length is part of the key; the suffix is appended only
+  // when the feature is on, keeping classic keys byte-identical.
+  if (options.walk_segment_steps != 0) {
+    key += ";seg=" + std::to_string(options.walk_segment_steps);
+  }
   return key;
 }
 
-Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
-                                             const SamplerOptions& options) {
+namespace {
+
+// Shared validation + dispatch behind SampleVertices and the recorded
+// variant; `record` non-null captures segment trajectories (segmented
+// runs only).
+Result<std::vector<VertexId>> SampleVerticesInternal(
+    const Graph& graph, const SamplerOptions& options,
+    SampleWalkRecord* record) {
   const uint64_t n = graph.num_vertices();
   if (n == 0) return Status::InvalidArgument("empty graph");
   if (options.sampling_ratio <= 0.0 || options.sampling_ratio > 1.0) {
@@ -254,6 +374,9 @@ Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
       1, static_cast<uint64_t>(
              std::llround(options.sampling_ratio * static_cast<double>(n))));
 
+  if (options.walk_segment_steps != 0) {
+    return RunSegmentedKind(graph, options, target, record);
+  }
   switch (options.kind) {
     case SamplerKind::kRandomJump:
       return RunRandomJump(graph, options, target);
@@ -267,10 +390,7 @@ Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
   return Status::InvalidArgument("unknown sampler kind");
 }
 
-Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options) {
-  PREDICT_ASSIGN_OR_RETURN(std::vector<VertexId> vertices,
-                           SampleVertices(graph, options));
-  PREDICT_ASSIGN_OR_RETURN(SubgraphResult sub, InducedSubgraph(graph, vertices));
+Sample AssembleSample(const Graph& graph, SubgraphResult sub) {
   Sample sample;
   sample.vertices = std::move(sub.original_id);
   sample.subgraph = std::move(sub.graph);
@@ -278,6 +398,144 @@ Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options) {
   sample.realized_ratio = static_cast<double>(sample.vertices.size()) /
                           static_cast<double>(sample.original_num_vertices);
   return sample;
+}
+
+}  // namespace
+
+Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
+                                             const SamplerOptions& options) {
+  return SampleVerticesInternal(graph, options, nullptr);
+}
+
+Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options) {
+  PREDICT_ASSIGN_OR_RETURN(std::vector<VertexId> vertices,
+                           SampleVertices(graph, options));
+  PREDICT_ASSIGN_OR_RETURN(SubgraphResult sub, InducedSubgraph(graph, vertices));
+  return AssembleSample(graph, std::move(sub));
+}
+
+Result<Sample> SampleGraphRecorded(const Graph& graph,
+                                   const SamplerOptions& options,
+                                   SampleWalkRecord* record) {
+  *record = SampleWalkRecord{};
+  record->options = options;
+  record->graph_fingerprint = graph.Fingerprint();
+  record->num_vertices = graph.num_vertices();
+  record->num_edges = graph.num_edges();
+  record->supports_incremental =
+      options.walk_segment_steps != 0 &&
+      (options.kind == SamplerKind::kRandomJump ||
+       options.kind == SamplerKind::kBiasedRandomJump);
+  PREDICT_ASSIGN_OR_RETURN(std::vector<VertexId> vertices,
+                           SampleVerticesInternal(graph, options, record));
+  PREDICT_ASSIGN_OR_RETURN(SubgraphResult sub, InducedSubgraph(graph, vertices));
+  return AssembleSample(graph, std::move(sub));
+}
+
+Result<IncrementalSampleResult> ResampleIncremental(
+    const Graph& graph, const std::vector<VertexId>& dirty,
+    const SampleWalkRecord& record, SampleWalkRecord* updated) {
+  const uint64_t n = graph.num_vertices();
+  const SamplerOptions& options = record.options;
+
+  const auto full = [&]() -> Result<IncrementalSampleResult> {
+    IncrementalSampleResult result;
+    PREDICT_ASSIGN_OR_RETURN(result.sample,
+                             SampleGraphRecorded(graph, options, updated));
+    result.full_resample = true;
+    result.segments_total = updated->segment_offsets.empty()
+                                ? 0
+                                : updated->segment_offsets.size() - 1;
+    result.segments_reused = 0;
+    return result;
+  };
+
+  if (!record.supports_incremental || record.num_vertices != n) return full();
+
+  // BRJ restarts draw from the top-out-degree seed set; the recorded
+  // trajectories are only reusable if the mutated graph reproduces it
+  // exactly (every segment's restarts would shift otherwise).
+  std::vector<VertexId> seeds;
+  if (options.kind == SamplerKind::kBiasedRandomJump) {
+    seeds = BrjSeeds(graph, options);
+    if (seeds != record.brj_seeds) return full();
+  }
+
+  std::vector<uint8_t> is_dirty(n, 0);
+  for (const VertexId v : dirty) {
+    if (v >= n) return Status::InvalidArgument("dirty vertex out of range");
+    is_dirty[v] = 1;
+  }
+
+  const uint64_t segment_steps = options.walk_segment_steps;
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(options.sampling_ratio * static_cast<double>(n))));
+  const uint64_t max_steps = 200 * target + 1000;
+  const uint64_t recorded_segments =
+      record.segment_offsets.empty() ? 0 : record.segment_offsets.size() - 1;
+
+  const auto restart = [&](Rng& rng) {
+    return options.kind == SamplerKind::kBiasedRandomJump
+               ? seeds[rng.Uniform(seeds.size())]
+               : static_cast<VertexId>(rng.Uniform(n));
+  };
+
+  IncrementalSampleResult result;
+  PickSet picks(n, target);
+  std::vector<VertexId> visits;
+  std::vector<uint64_t> offsets{0};
+  for (uint64_t i = 0; !picks.Done() && i * segment_steps < max_steps; ++i) {
+    const size_t begin = visits.size();
+    bool reused = false;
+    if (i < recorded_segments) {
+      const uint64_t s0 = record.segment_offsets[i];
+      const uint64_t s1 = record.segment_offsets[i + 1];
+      bool clean = true;
+      for (uint64_t p = s0; p < s1; ++p) {
+        if (is_dirty[record.visits[p]]) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        // No visited vertex's out-row changed, so the segment walks
+        // identically on the mutated graph: splice the recording through.
+        visits.insert(visits.end(), record.visits.begin() + s0,
+                      record.visits.begin() + s1);
+        reused = true;
+        ++result.segments_reused;
+      }
+    }
+    if (!reused) WalkSegment(graph, options, i, restart, &visits);
+    offsets.push_back(visits.size());
+    for (size_t p = begin; p < visits.size() && !picks.Done(); ++p) {
+      picks.Add(visits[p]);
+    }
+  }
+  Rng fill = Rng(options.seed).Fork(kFillStream);
+  while (!picks.Done()) {
+    picks.Add(static_cast<VertexId>(fill.Uniform(n)));
+  }
+  result.segments_total = offsets.size() - 1;
+
+  *updated = SampleWalkRecord{};
+  updated->options = options;
+  updated->graph_fingerprint = graph.Fingerprint();
+  updated->num_vertices = n;
+  updated->num_edges = graph.num_edges();
+  updated->supports_incremental = true;
+  updated->brj_seeds = std::move(seeds);
+  updated->segment_offsets = std::move(offsets);
+  updated->touched.assign(n, 0);
+  for (const VertexId v : visits) updated->touched[v] = 1;
+  updated->visits = std::move(visits);
+
+  std::vector<VertexId> vertices = std::move(picks.order());
+  PREDICT_ASSIGN_OR_RETURN(SubgraphResult sub,
+                           InducedSubgraph(graph, vertices));
+  result.sample = AssembleSample(graph, std::move(sub));
+  return result;
 }
 
 }  // namespace predict

@@ -48,6 +48,17 @@ struct SamplerOptions {
 
   uint64_t seed = 1;
 
+  /// RJ/BRJ only: when nonzero, the walk runs as fixed-length segments
+  /// of this many steps, segment i drawing from the independent stream
+  /// Rng(seed).Fork(i). Each segment's trajectory is then a pure
+  /// function of (graph, options, i) — the property incremental
+  /// re-sampling (ResampleIncremental) splices unaffected segments
+  /// through on. 0 (default) keeps the classic single-stream walk;
+  /// nonzero with MHRW/FF is InvalidArgument. Different values sample
+  /// different (equally valid) vertex sets, so this is part of the
+  /// cache key (";seg=N" suffix, appended only when nonzero).
+  uint64_t walk_segment_steps = 0;
+
   bool operator==(const SamplerOptions& other) const = default;
 };
 
@@ -81,6 +92,67 @@ Result<Sample> SampleGraph(const Graph& graph, const SamplerOptions& options);
 /// Returns just the sampled vertex ids (no subgraph extraction).
 Result<std::vector<VertexId>> SampleVertices(const Graph& graph,
                                              const SamplerOptions& options);
+
+/// \brief Everything needed to maintain a characterized sample under
+/// graph mutation: the full per-segment walk trajectories plus a
+/// touched-vertex bitmap, recorded while sampling.
+///
+/// A segment whose trajectory avoids every mutated vertex walks
+/// identically on the mutated graph, so ResampleIncremental replays its
+/// recorded trajectory instead of re-walking it.
+struct SampleWalkRecord {
+  SamplerOptions options;
+  /// Graph::Fingerprint() of the graph this record was walked on.
+  uint64_t graph_fingerprint = 0;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  /// True iff the walk was segmented (walk_segment_steps > 0, RJ/BRJ);
+  /// false means ResampleIncremental always falls back to a full
+  /// resample.
+  bool supports_incremental = false;
+  /// BRJ: the top-out-degree seed set the restarts drew from. Incremental
+  /// reuse requires the mutated graph to reproduce it exactly.
+  std::vector<VertexId> brj_seeds;
+  /// Trajectory of segment i = visits[segment_offsets[i] ..
+  /// segment_offsets[i+1]). Every visited vertex appears, in walk order.
+  std::vector<uint64_t> segment_offsets;
+  std::vector<VertexId> visits;
+  /// Dense |V| byte bitmap: 1 iff any segment visited the vertex.
+  std::vector<uint8_t> touched;
+};
+
+/// SampleGraph, additionally filling `record` (must be non-null) so the
+/// sample can later be maintained incrementally. The returned Sample is
+/// bit-identical to SampleGraph(graph, options).
+Result<Sample> SampleGraphRecorded(const Graph& graph,
+                                   const SamplerOptions& options,
+                                   SampleWalkRecord* record);
+
+/// Outcome of an incremental re-sample.
+struct IncrementalSampleResult {
+  Sample sample;
+  /// Segments composing the new sample / of those, replayed from the
+  /// record without re-walking.
+  uint64_t segments_total = 0;
+  uint64_t segments_reused = 0;
+  /// True when incremental maintenance was impossible (unsegmented
+  /// record, |V| changed, or the BRJ seed set shifted) and the sample
+  /// was drawn from scratch instead.
+  bool full_resample = false;
+};
+
+/// \brief Re-derives the sample on a mutated graph, re-walking only
+/// segments whose recorded trajectory touched a vertex in `dirty` (the
+/// DirtyOutVertices set between the recorded graph and `graph`).
+///
+/// The result is bit-identical to SampleGraphRecorded(graph,
+/// record.options, ...) — a from-scratch resample of the mutated graph —
+/// at a fraction of the walk cost when the churn misses most
+/// trajectories. `updated` (non-null, distinct from `record`) receives
+/// the record for the new graph.
+Result<IncrementalSampleResult> ResampleIncremental(
+    const Graph& graph, const std::vector<VertexId>& dirty,
+    const SampleWalkRecord& record, SampleWalkRecord* updated);
 
 }  // namespace predict
 

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "graph/delta.h"
+
 namespace predict {
 
 namespace {
@@ -65,13 +67,63 @@ PredictionService::PredictionService(PredictionServiceOptions options)
           ";" + options_.predictor.bootstrap.ConfigKey()),
       pool_(ResolveThreads(options_.num_threads)) {}
 
-Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
+Result<PredictionService::SamplePtr> PredictionService::ComputeSampleArtifact(
     const Graph& graph, const pipeline::StageContext& ctx) {
-  auto compute = [&]() -> Result<SamplePtr> {
+  const bool incremental_enabled =
+      options_.enable_incremental_sampling &&
+      options_.predictor.sampler.walk_segment_steps != 0;
+  if (!incremental_enabled) {
     PREDICT_ASSIGN_OR_RETURN(pipeline::SampleArtifact artifact,
                              stages_.sample.Run(graph, ctx));
     return std::make_shared<const pipeline::SampleArtifact>(
         std::move(artifact));
+  }
+
+  // Take the retained previous-walk state (if any); a concurrent
+  // compute for another graph simply finds the slot empty and walks
+  // cold. Either way the artifact is bit-identical — the state is a
+  // pure accelerator.
+  std::optional<IncrementalState> prev;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    prev.swap(incremental_state_);
+  }
+
+  pipeline::SampleArtifact artifact;
+  SampleWalkRecord updated;
+  pipeline::SampleStage::IncrementalStats inc_stats;
+  bool incremental_ran = false;
+  if (prev.has_value() && prev->graph.num_vertices() == graph.num_vertices()) {
+    const std::vector<VertexId> dirty = DirtyOutVertices(prev->graph, graph);
+    // Past ~25% dirty vertices the splice check itself stops paying;
+    // walk from scratch instead.
+    if (dirty.size() * 4 <= graph.num_vertices()) {
+      PREDICT_ASSIGN_OR_RETURN(
+          artifact, stages_.sample.RunIncremental(graph, dirty, prev->record,
+                                                  &updated, &inc_stats, ctx));
+      incremental_ran = true;
+    }
+  }
+  if (!incremental_ran) {
+    PREDICT_ASSIGN_OR_RETURN(artifact,
+                             stages_.sample.RunRecorded(graph, &updated, ctx));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    incremental_state_.emplace(IncrementalState{graph, std::move(updated)});
+    if (incremental_ran && !inc_stats.full_resample) {
+      ++stats_.incremental_sample_updates;
+      stats_.incremental_segments_reused += inc_stats.segments_reused;
+    }
+  }
+  return std::make_shared<const pipeline::SampleArtifact>(std::move(artifact));
+}
+
+Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
+    const Graph& graph, const pipeline::StageContext& ctx, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  auto compute = [&]() -> Result<SamplePtr> {
+    return ComputeSampleArtifact(graph, ctx);
   };
 
   if (!options_.enable_sample_cache) {
@@ -98,7 +150,10 @@ Result<PredictionService::SamplePtr> PredictionService::GetOrComputeSample(
     }
     entry = slot;
   }
-  if (!creator) return entry->Wait();
+  if (!creator) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return entry->Wait();
+  }
 
   Result<SamplePtr> result = compute();
   if (!result.ok()) {
@@ -119,7 +174,9 @@ Result<PredictionService::ProfilePtr> PredictionService::GetOrComputeProfile(
     const std::string& profile_key, const std::string& algorithm,
     const std::string& dataset, const pipeline::SampleArtifact& sample,
     const pipeline::TransformArtifact& transform,
-    const bsp::EngineOptions& engine, const pipeline::StageContext& ctx) {
+    const bsp::EngineOptions& engine, const pipeline::StageContext& ctx,
+    bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   auto compute = [&]() -> Result<ProfilePtr> {
     PREDICT_ASSIGN_OR_RETURN(
         pipeline::ProfileArtifact artifact,
@@ -160,7 +217,10 @@ Result<PredictionService::ProfilePtr> PredictionService::GetOrComputeProfile(
     }
     entry = slot;
   }
-  if (!creator) return entry->Wait();
+  if (!creator) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return entry->Wait();
+  }
 
   Result<ProfilePtr> result = compute();
   if (!result.ok()) {
@@ -238,7 +298,9 @@ Result<PredictionReport> PredictionService::Predict(
 
   // 1. Sample (cached on the graph's content + sampler options; the
   // sample is deployment-independent, so scenario requests share it).
-  Result<SamplePtr> sample = GetOrComputeSample(graph, sample_ctx);
+  bool sample_reused = false;
+  Result<SamplePtr> sample = GetOrComputeSample(graph, sample_ctx,
+                                                &sample_reused);
   if (!sample.ok()) return history_only(sample.status());
 
   // 2. Transform (cheap; always recomputed). Pure config arithmetic — a
@@ -248,17 +310,22 @@ Result<PredictionReport> PredictionService::Predict(
       stages_.transform.Run(request.algorithm, request.overrides,
                             (*sample)->realized_ratio()));
 
-  // 3. Sample run (cached on sample identity + algorithm + dataset label
-  // + transformed config + the target deployment's canonical engine key
-  // — everything the profile depends on).
+  // 3. Sample run (cached on the sample's *content* + algorithm +
+  // dataset label + transformed config + the target deployment's
+  // canonical engine key — everything the profile depends on, and
+  // nothing it doesn't: keying on content rather than the graph version
+  // the sample came from keeps profiles hitting across graph churn that
+  // leaves the sample unchanged).
   const std::string profile_key =
-      (*sample)->key.ToString() + "|" + request.algorithm + "|" +
+      (*sample)->ContentKey() + "|" + request.algorithm + "|" +
       request.dataset + "|" + transform.ConfigKey() + "|" + engine_key + "|" +
       model_config_key_;
   DegradationInfo degradation;
+  bool profile_reused = false;
   Result<ProfilePtr> profile =
       GetOrComputeProfile(profile_key, request.algorithm, request.dataset,
-                          **sample, transform, engine, profile_ctx);
+                          **sample, transform, engine, profile_ctx,
+                          &profile_reused);
   if (!profile.ok()) {
     if (!robustness.degraded_fallbacks) return profile.status();
     // Middle rung: the last profile this service (ever) computed for the
@@ -278,6 +345,7 @@ Result<PredictionReport> PredictionService::Predict(
       ++stats_.stale_profile_hits;
     }
     profile = stale;
+    profile_reused = true;  // answered from a prior epoch's artifact
   }
 
   // 4-6. Extrapolate, fit, predict — per request, never cached (history
@@ -291,6 +359,10 @@ Result<PredictionReport> PredictionService::Predict(
   if (!report.ok()) return history_only(report.status());
   report->degradation = degradation;
   report->accounting = accounting;
+  // Transform, extrapolate, and fit always execute per request; sample
+  // and profile are the cacheable stages.
+  report->stages_reused = (sample_reused ? 1 : 0) + (profile_reused ? 1 : 0);
+  report->stages_recomputed = 5 - report->stages_reused;
   if (request.scenario.has_value()) report->scenario = request.scenario->name;
   return report;
 }
@@ -343,10 +415,16 @@ ServiceCacheStats PredictionService::cache_stats() const {
   return stats_;
 }
 
-void PredictionService::ClearCaches() {
+ServiceCacheEvictions PredictionService::ClearCaches() {
   std::lock_guard<std::mutex> lock(mutex_);
+  ServiceCacheEvictions evicted;
+  evicted.sample_entries = sample_cache_.size();
+  evicted.profile_entries = profile_cache_.size();
+  evicted.incremental_states = incremental_state_.has_value() ? 1 : 0;
   sample_cache_.clear();
   profile_cache_.clear();
+  incremental_state_.reset();
+  return evicted;
 }
 
 }  // namespace predict

@@ -97,6 +97,14 @@ struct PredictionServiceOptions {
 
   bool enable_sample_cache = true;
   bool enable_profile_cache = true;
+
+  /// Maintain the characterized sample incrementally across graph
+  /// versions: on a sample-cache miss the service diffs the new graph
+  /// against the last graph it sampled and re-walks only the affected
+  /// walk segments (bit-identical to sampling from scratch). Effective
+  /// only when predictor.sampler.walk_segment_steps > 0; costs one
+  /// retained copy of the last-sampled graph plus its walk record.
+  bool enable_incremental_sampling = true;
 };
 
 /// Cumulative cache accounting. A "hit" includes joining an in-flight
@@ -110,6 +118,20 @@ struct ServiceCacheStats {
   /// rung and from the history-only rung.
   uint64_t stale_profile_hits = 0;
   uint64_t history_only_fallbacks = 0;
+  /// Incremental-sampling accounting: sample-cache misses answered by
+  /// splicing the previous walk record (vs sampling from scratch), and
+  /// walk segments replayed without re-walking across those updates.
+  uint64_t incremental_sample_updates = 0;
+  uint64_t incremental_segments_reused = 0;
+};
+
+/// What ClearCaches dropped.
+struct ServiceCacheEvictions {
+  uint64_t sample_entries = 0;
+  uint64_t profile_entries = 0;
+  /// 1 if a retained incremental-sampling state (graph + walk record)
+  /// was dropped.
+  uint64_t incremental_states = 0;
 };
 
 /// \brief Concurrent, caching prediction server over one pipeline
@@ -144,8 +166,9 @@ class PredictionService {
 
   ServiceCacheStats cache_stats() const;
 
-  /// Drops every cached artifact (stats are kept).
-  void ClearCaches();
+  /// Drops every cached artifact and the incremental-sampling state
+  /// (stats and last-good profiles are kept). Returns what was evicted.
+  ServiceCacheEvictions ClearCaches();
 
   const PredictionServiceOptions& options() const { return options_; }
 
@@ -156,13 +179,22 @@ class PredictionService {
   using SamplePtr = std::shared_ptr<const pipeline::SampleArtifact>;
   using ProfilePtr = std::shared_ptr<const pipeline::ProfileArtifact>;
 
+  /// `cache_hit` (may be null) reports whether the artifact was served
+  /// from the cache (including joining an in-flight computation).
   Result<SamplePtr> GetOrComputeSample(const Graph& graph,
-                                       const pipeline::StageContext& ctx);
+                                       const pipeline::StageContext& ctx,
+                                       bool* cache_hit = nullptr);
   Result<ProfilePtr> GetOrComputeProfile(
       const std::string& profile_key, const std::string& algorithm,
       const std::string& dataset, const pipeline::SampleArtifact& sample,
       const pipeline::TransformArtifact& transform,
-      const bsp::EngineOptions& engine, const pipeline::StageContext& ctx);
+      const bsp::EngineOptions& engine, const pipeline::StageContext& ctx,
+      bool* cache_hit = nullptr);
+
+  /// Computes the sample artifact on a cache miss: incrementally from
+  /// the retained previous walk when possible, from scratch otherwise.
+  Result<SamplePtr> ComputeSampleArtifact(const Graph& graph,
+                                          const pipeline::StageContext& ctx);
 
   PredictionServiceOptions options_;
   PredictionPipeline stages_;
@@ -193,6 +225,17 @@ class PredictionService {
   /// whose caches were cleared (a "restart") can still answer from the
   /// previous epoch's profiles when the fresh run fails.
   std::unordered_map<std::string, ProfilePtr> last_good_profiles_;
+  /// The last graph this service sampled plus the walk record taken on
+  /// it — the splice source for incremental re-sampling. One slot: the
+  /// evolving-graph workload this serves is "predict, churn, re-predict"
+  /// on one logical graph. A compute in flight takes the slot (so a
+  /// concurrent sample for a different graph falls back to a cold walk)
+  /// and stores the refreshed state back when done.
+  struct IncrementalState {
+    Graph graph;
+    SampleWalkRecord record;
+  };
+  std::optional<IncrementalState> incremental_state_;
   ServiceCacheStats stats_;
 };
 

@@ -11,6 +11,8 @@
 #include "algorithms/runner.h"
 #include "core/predictor.h"
 #include "core/transform.h"
+#include "common/rng.h"
+#include "graph/delta.h"
 #include "graph/generators.h"
 
 namespace predict {
@@ -176,6 +178,103 @@ TEST(PropertyTest, PerIterationPredictionsTrackActualShape) {
   const double first = report->per_iteration_seconds.front();
   const double last = report->per_iteration_seconds.back();
   EXPECT_GT(first, last);
+}
+
+// ------------------------------------- delta versioning soundness sweep
+
+// The version-fingerprint contract: across ANY interleaving of insert
+// batches, delete batches and compactions, two reached states have equal
+// VersionFingerprints iff their compacted edge multisets are equal. Each
+// random walk snapshots (canonical edge list, fingerprint) after every
+// batch — compacting a *copy* so the original keeps its overlay state —
+// then all snapshots from all walks are cross-compared.
+TEST(DeltaVersioningProperty, FingerprintEqualsEdgeSetAcrossInterleavings) {
+  const Graph base =
+      GeneratePreferentialAttachment({120, 4, 0.3, 71}).MoveValue();
+  struct Snapshot {
+    std::vector<Edge> edges;  // canonical (sorted) — multiset identity
+    uint64_t fp = 0;
+  };
+  std::vector<Snapshot> snapshots;
+
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    EvolvingGraph g(base);
+    Rng rng(seed * 977);
+    for (int step = 0; step < 25; ++step) {
+      const uint64_t kind = rng.Uniform(10);
+      if (kind == 0) {
+        ASSERT_TRUE(g.Compact().ok());
+      } else {
+        EdgeDeltaBatch batch;
+        const uint64_t batch_size = 1 + rng.Uniform(4);
+        for (uint64_t i = 0; i < batch_size; ++i) {
+          if (kind < 6 || g.num_edges() == 0) {
+            batch.push_back(EdgeDelta::Insert(
+                static_cast<VertexId>(rng.Uniform(g.num_vertices())),
+                static_cast<VertexId>(rng.Uniform(g.num_vertices()))));
+          } else {
+            // Delete a random currently-present edge (sampled off a
+            // compacted copy so the pick is valid for the live graph).
+            EvolvingGraph copy = g;
+            auto current = copy.Current();
+            ASSERT_TRUE(current.ok());
+            const std::vector<Edge> edges = (*current)->ToEdgeList();
+            const Edge& victim = edges[rng.Uniform(edges.size())];
+            batch.push_back(EdgeDelta::Delete(victim.src, victim.dst));
+          }
+          // One mutation per batch when deleting: a second delete of the
+          // same pick could over-delete and invalidate the batch.
+          if (kind >= 6) break;
+        }
+        ASSERT_TRUE(g.Apply(batch).ok());
+      }
+      EvolvingGraph copy = g;
+      auto current = copy.Current();
+      ASSERT_TRUE(current.ok());
+      Snapshot snap;
+      snap.edges = (*current)->ToEdgeList();
+      snap.fp = g.VersionFingerprint();
+      // Compaction preserves the version, and the version always equals
+      // the compacted edge set's hash.
+      EXPECT_EQ(copy.VersionFingerprint(), snap.fp);
+      EXPECT_EQ((*current)->EdgeSetHash(), snap.fp);
+      snapshots.push_back(std::move(snap));
+    }
+  }
+
+  int equal_pairs = 0;
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    for (size_t j = i + 1; j < snapshots.size(); ++j) {
+      const bool same_edges = snapshots[i].edges == snapshots[j].edges;
+      const bool same_fp = snapshots[i].fp == snapshots[j].fp;
+      EXPECT_EQ(same_edges, same_fp)
+          << "snapshot " << i << " vs " << j << ": edge sets "
+          << (same_edges ? "equal" : "differ") << " but fingerprints "
+          << (same_fp ? "equal" : "differ");
+      equal_pairs += same_edges ? 1 : 0;
+    }
+  }
+  // The walks share a base and revisit states (insert then delete), so
+  // the iff has to have been exercised in both directions.
+  EXPECT_GT(equal_pairs, 0);
+}
+
+// Insert-then-delete of the same edge is a version no-op even when a
+// compaction lands between the two mutations.
+TEST(DeltaVersioningProperty, CancellationSurvivesInterposedCompaction) {
+  const Graph base =
+      GeneratePreferentialAttachment({80, 3, 0.3, 73}).MoveValue();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    EvolvingGraph g(base);
+    Rng rng(seed);
+    const auto src = static_cast<VertexId>(rng.Uniform(80));
+    const auto dst = static_cast<VertexId>(rng.Uniform(80));
+    const uint64_t fp0 = g.VersionFingerprint();
+    ASSERT_TRUE(g.Apply({EdgeDelta::Insert(src, dst)}).ok());
+    if (seed % 2 == 0) ASSERT_TRUE(g.Compact().ok());
+    ASSERT_TRUE(g.Apply({EdgeDelta::Delete(src, dst)}).ok());
+    EXPECT_EQ(g.VersionFingerprint(), fp0) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "graph/delta.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
 #include "sampling/quality.h"
@@ -205,6 +208,240 @@ TEST(QualityTest, ToStringContainsFields) {
   SampleQualityReport report;
   report.out_degree_d_statistic = 0.25;
   EXPECT_NE(report.ToString().find("D(out)=0.250"), std::string::npos);
+}
+
+// --------------------------------------------------------- segmented walks
+
+SamplerOptions SegmentedOptions(SamplerKind kind, double ratio,
+                                uint64_t segment_steps, uint64_t seed = 1) {
+  SamplerOptions options = Options(kind, ratio, seed);
+  options.walk_segment_steps = segment_steps;
+  return options;
+}
+
+TEST(SegmentedSamplerTest, DeterministicForSeed) {
+  const Graph g = ScaleFree(6000);
+  const SamplerOptions options =
+      SegmentedOptions(SamplerKind::kRandomJump, 0.1, 128);
+  auto a = SampleVertices(g, options);
+  auto b = SampleVertices(g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->size(), 600u);
+}
+
+TEST(SegmentedSamplerTest, SegmentLengthIsPartOfTheCacheKey) {
+  SamplerOptions classic = Options(SamplerKind::kRandomJump, 0.1);
+  EXPECT_EQ(SamplerOptionsKey(classic).find(";seg="), std::string::npos);
+  SamplerOptions segmented =
+      SegmentedOptions(SamplerKind::kRandomJump, 0.1, 128);
+  EXPECT_NE(SamplerOptionsKey(segmented).find(";seg=128"), std::string::npos);
+  EXPECT_NE(SamplerOptionsKey(classic), SamplerOptionsKey(segmented));
+}
+
+TEST(SegmentedSamplerTest, RejectsNonJumpSamplers) {
+  const Graph g = ScaleFree(2000);
+  for (const SamplerKind kind :
+       {SamplerKind::kMetropolisHastingsRW, SamplerKind::kForestFire}) {
+    EXPECT_TRUE(SampleVertices(g, SegmentedOptions(kind, 0.1, 64))
+                    .status()
+                    .IsInvalidArgument());
+  }
+}
+
+TEST(SegmentedSamplerTest, RecordedSampleMatchesPlainSample) {
+  const Graph g = ScaleFree(6000);
+  for (const SamplerKind kind :
+       {SamplerKind::kRandomJump, SamplerKind::kBiasedRandomJump}) {
+    const SamplerOptions options = SegmentedOptions(kind, 0.1, 200);
+    SampleWalkRecord record;
+    auto recorded = SampleGraphRecorded(g, options, &record);
+    auto plain = SampleGraph(g, options);
+    ASSERT_TRUE(recorded.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(recorded->vertices, plain->vertices);
+    EXPECT_EQ(recorded->subgraph.Fingerprint(), plain->subgraph.Fingerprint());
+    EXPECT_TRUE(record.supports_incremental);
+    EXPECT_EQ(record.graph_fingerprint, g.Fingerprint());
+    ASSERT_GT(record.segment_offsets.size(), 1u);
+    EXPECT_EQ(record.segment_offsets.back(), record.visits.size());
+    // Every recorded visit is marked touched.
+    for (const VertexId v : record.visits) EXPECT_TRUE(record.touched[v]);
+    if (kind == SamplerKind::kBiasedRandomJump) {
+      EXPECT_FALSE(record.brj_seeds.empty());
+    }
+  }
+}
+
+TEST(SegmentedSamplerTest, ClassicRecordDoesNotSupportIncremental) {
+  const Graph g = ScaleFree(2000);
+  SampleWalkRecord record;
+  auto sample =
+      SampleGraphRecorded(g, Options(SamplerKind::kRandomJump, 0.1), &record);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_FALSE(record.supports_incremental);
+}
+
+// ----------------------------------------------------- incremental resample
+
+// Applies deterministic churn to `base` and returns (mutated graph,
+// dirty vertex set). `base` must already be canonical.
+std::pair<Graph, std::vector<VertexId>> Mutate(const Graph& base,
+                                               double fraction,
+                                               uint64_t seed) {
+  EvolvingGraph evolving(base);
+  auto batch = GenerateChurn(evolving.base(),
+                             {.fraction = fraction, .seed = seed});
+  EXPECT_TRUE(batch.ok());
+  EXPECT_TRUE(evolving.Apply(*batch).ok());
+  auto current = evolving.Current();
+  EXPECT_TRUE(current.ok());
+  Graph mutated = **current;
+  std::vector<VertexId> dirty = DirtyOutVertices(base, mutated);
+  return {std::move(mutated), std::move(dirty)};
+}
+
+TEST(IncrementalSampleTest, BitIdenticalToColdResampleOnMutatedGraph) {
+  const Graph base = EvolvingGraph::Canonicalize(ScaleFree(8000));
+  const SamplerOptions options =
+      SegmentedOptions(SamplerKind::kRandomJump, 0.1, 256);
+  SampleWalkRecord record;
+  auto original = SampleGraphRecorded(base, options, &record);
+  ASSERT_TRUE(original.ok());
+
+  // Surgical churn: mutate the out-row of (a) the least-visited walked
+  // vertex — only the few segments that stepped on it must re-walk — and
+  // (b) an unvisited vertex, which no segment needs to care about.
+  std::vector<uint64_t> visit_count(base.num_vertices(), 0);
+  for (const VertexId v : record.visits) ++visit_count[v];
+  VertexId rare = 0;
+  uint64_t rare_count = ~uint64_t{0};
+  VertexId unvisited = 0;
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    if (visit_count[v] != 0 && visit_count[v] < rare_count) {
+      rare = v;
+      rare_count = visit_count[v];
+    }
+    if (!record.touched[v]) unvisited = v;
+  }
+  ASSERT_FALSE(record.touched[unvisited]);
+  EvolvingGraph evolving(base);
+  ASSERT_TRUE(evolving
+                  .Apply({EdgeDelta::Insert(rare, unvisited),
+                          EdgeDelta::Insert(unvisited, rare)})
+                  .ok());
+  auto current = evolving.Current();
+  ASSERT_TRUE(current.ok());
+  const Graph mutated = **current;
+  const std::vector<VertexId> dirty = DirtyOutVertices(base, mutated);
+  ASSERT_FALSE(dirty.empty());
+
+  SampleWalkRecord updated;
+  auto incremental = ResampleIncremental(mutated, dirty, record, &updated);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_FALSE(incremental->full_resample);
+  EXPECT_GT(incremental->segments_reused, 0u);
+  EXPECT_LE(incremental->segments_reused, incremental->segments_total);
+
+  SampleWalkRecord cold_record;
+  auto cold = SampleGraphRecorded(mutated, options, &cold_record);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(incremental->sample.vertices, cold->vertices);
+  EXPECT_EQ(incremental->sample.subgraph.Fingerprint(),
+            cold->subgraph.Fingerprint());
+  EXPECT_EQ(incremental->sample.realized_ratio, cold->realized_ratio);
+  // The updated record must be exactly what a cold recorded walk writes:
+  // it is the splice source for the *next* mutation.
+  EXPECT_EQ(updated.graph_fingerprint, cold_record.graph_fingerprint);
+  EXPECT_EQ(updated.segment_offsets, cold_record.segment_offsets);
+  EXPECT_EQ(updated.visits, cold_record.visits);
+  EXPECT_EQ(updated.touched, cold_record.touched);
+}
+
+TEST(IncrementalSampleTest, BrjReusesWhenSeedSetIsStable) {
+  // Scale-free hubs have a wide degree margin: sub-percent churn does
+  // not reorder the top-degree seed set, so BRJ stays incremental.
+  const Graph base = EvolvingGraph::Canonicalize(ScaleFree(8000, 11));
+  const SamplerOptions options =
+      SegmentedOptions(SamplerKind::kBiasedRandomJump, 0.1, 256);
+  SampleWalkRecord record;
+  ASSERT_TRUE(SampleGraphRecorded(base, options, &record).ok());
+
+  auto [mutated, dirty] = Mutate(base, 0.001, 13);
+  SampleWalkRecord updated;
+  auto incremental = ResampleIncremental(mutated, dirty, record, &updated);
+  ASSERT_TRUE(incremental.ok());
+
+  SampleWalkRecord cold_record;
+  auto cold = SampleGraphRecorded(mutated, options, &cold_record);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(incremental->sample.vertices, cold->vertices);
+  EXPECT_EQ(incremental->sample.subgraph.Fingerprint(),
+            cold->subgraph.Fingerprint());
+  EXPECT_EQ(updated.brj_seeds, cold_record.brj_seeds);
+}
+
+TEST(IncrementalSampleTest, BrjSeedShiftForcesFullResample) {
+  // 200 vertices, BRJ keeps k = 2 seeds. Vertices 0 and 1 are the hubs;
+  // the churn promotes vertex 5 past both, shifting the seed set.
+  std::vector<Edge> edges;
+  for (VertexId d = 10; d < 60; ++d) edges.push_back({0, d, 1.0f});
+  for (VertexId d = 10; d < 50; ++d) edges.push_back({1, d, 1.0f});
+  for (VertexId v = 2; v < 199; ++v) edges.push_back({v, v + 1, 1.0f});
+  const Graph base = EvolvingGraph::Canonicalize(
+      Graph::FromEdges(200, std::move(edges)).MoveValue());
+
+  const SamplerOptions options =
+      SegmentedOptions(SamplerKind::kBiasedRandomJump, 0.2, 64);
+  SampleWalkRecord record;
+  ASSERT_TRUE(SampleGraphRecorded(base, options, &record).ok());
+
+  EvolvingGraph evolving(base);
+  EdgeDeltaBatch batch;
+  for (VertexId d = 100; d < 180; ++d) batch.push_back(EdgeDelta::Insert(5, d));
+  ASSERT_TRUE(evolving.Apply(batch).ok());
+  auto current = evolving.Current();
+  ASSERT_TRUE(current.ok());
+  const Graph& mutated = **current;
+  const std::vector<VertexId> dirty = DirtyOutVertices(base, mutated);
+
+  SampleWalkRecord updated;
+  auto incremental = ResampleIncremental(mutated, dirty, record, &updated);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_TRUE(incremental->full_resample);
+  auto cold = SampleGraph(mutated, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(incremental->sample.vertices, cold->vertices);
+}
+
+TEST(IncrementalSampleTest, UnsegmentedRecordFallsBackToFullResample) {
+  const Graph base = EvolvingGraph::Canonicalize(ScaleFree(2000));
+  const SamplerOptions options = Options(SamplerKind::kRandomJump, 0.1);
+  SampleWalkRecord record;
+  ASSERT_TRUE(SampleGraphRecorded(base, options, &record).ok());
+
+  auto [mutated, dirty] = Mutate(base, 0.01, 3);
+  SampleWalkRecord updated;
+  auto incremental = ResampleIncremental(mutated, dirty, record, &updated);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_TRUE(incremental->full_resample);
+  EXPECT_EQ(incremental->segments_reused, 0u);
+  auto cold = SampleGraph(mutated, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(incremental->sample.vertices, cold->vertices);
+}
+
+TEST(IncrementalSampleTest, RejectsOutOfRangeDirtyVertex) {
+  const Graph base = EvolvingGraph::Canonicalize(ScaleFree(2000));
+  const SamplerOptions options =
+      SegmentedOptions(SamplerKind::kRandomJump, 0.1, 128);
+  SampleWalkRecord record;
+  ASSERT_TRUE(SampleGraphRecorded(base, options, &record).ok());
+  SampleWalkRecord updated;
+  EXPECT_TRUE(ResampleIncremental(base, {99999}, record, &updated)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 
 #include "common/failpoint.h"
 #include "core/predictor.h"
+#include "graph/delta.h"
 #include "graph/generators.h"
+#include "sampling/sampler.h"
 #include "service/prediction_service.h"
 
 namespace predict {
@@ -420,6 +422,134 @@ TEST_F(ServiceFailureTest, DegradedAnswersDoNotPoisonTheFullQualityPath) {
                                                 request.overrides);
   ASSERT_TRUE(direct.ok());
   ExpectReportsIdentical(*full, *direct);
+}
+
+// ------------------------------------ evolving graphs / staleness tracking
+
+PredictionServiceOptions IncrementalServiceOptions() {
+  PredictionServiceOptions options = TestServiceOptions();
+  options.predictor.sampler.kind = SamplerKind::kRandomJump;
+  options.predictor.sampler.walk_segment_steps = 256;
+  return options;
+}
+
+// Mutates `base` only at vertices the walk record never touched: the
+// graph version changes but a re-walk reproduces the identical sample.
+Graph MutateOutsideSample(const Graph& base, const SamplerOptions& sampler) {
+  SampleWalkRecord record;
+  auto sample = SampleGraphRecorded(base, sampler, &record);
+  EXPECT_TRUE(sample.ok());
+  std::vector<VertexId> untouched;
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    if (!record.touched[v]) untouched.push_back(v);
+  }
+  EXPECT_GE(untouched.size(), 2u);
+  EvolvingGraph evolving(base);
+  EXPECT_TRUE(evolving
+                  .Apply({EdgeDelta::Insert(untouched[0], untouched[1]),
+                          EdgeDelta::Insert(untouched[1], untouched[0])})
+                  .ok());
+  auto current = evolving.Current();
+  EXPECT_TRUE(current.ok());
+  return **current;
+}
+
+TEST(ServiceStalenessTest, ReportsCountReusedStages) {
+  const Graph g = TestGraph(4000, 61);
+  PredictionService service(TestServiceOptions());
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  request.graph = &g;
+  request.dataset = "ds";
+  request.overrides = {{"tau", PageRankTau(g)}};
+
+  auto cold = service.Predict(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->stages_reused, 0);
+  EXPECT_EQ(cold->stages_recomputed, 5);
+
+  auto warm = service.Predict(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stages_reused, 2);  // sample + profile from cache
+  EXPECT_EQ(warm->stages_recomputed, 3);
+  ExpectReportsIdentical(*cold, *warm);
+}
+
+TEST(ServiceStalenessTest, ProfileCacheSurvivesChurnOutsideTheSample) {
+  const PredictionServiceOptions options = IncrementalServiceOptions();
+  const Graph base = EvolvingGraph::Canonicalize(TestGraph(4000, 67));
+  const Graph mutated = MutateOutsideSample(base, options.predictor.sampler);
+  ASSERT_NE(base.Fingerprint(), mutated.Fingerprint());
+
+  PredictionService service(options);
+  PredictionRequest request;
+  request.algorithm = "pagerank";
+  request.dataset = "ds";
+  request.overrides = {{"tau", PageRankTau(base)}};
+
+  request.graph = &base;
+  auto before = service.Predict(request);
+  ASSERT_TRUE(before.ok());
+
+  request.graph = &mutated;
+  auto after = service.Predict(request);
+  ASSERT_TRUE(after.ok());
+  // The graph version changed, so the sample was recomputed (a cache
+  // miss) — but it came out content-identical, so the profile (and
+  // everything downstream of it) was served from cache.
+  const ServiceCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.sample_misses, 2u);
+  EXPECT_EQ(stats.profile_misses, 1u);
+  EXPECT_EQ(stats.profile_hits, 1u);
+  EXPECT_EQ(after->stages_reused, 1);
+  EXPECT_EQ(after->stages_recomputed, 4);
+  // And the re-walk itself was incremental: every segment replayed.
+  EXPECT_EQ(stats.incremental_sample_updates, 1u);
+  EXPECT_GT(stats.incremental_segments_reused, 0u);
+}
+
+TEST(ServiceStalenessTest, IncrementalDisabledStillPredictsIdentically) {
+  PredictionServiceOptions options = IncrementalServiceOptions();
+  const Graph base = EvolvingGraph::Canonicalize(TestGraph(3000, 71));
+  const Graph mutated = MutateOutsideSample(base, options.predictor.sampler);
+
+  PredictionRequest request;
+  request.algorithm = "connected_components";
+  request.dataset = "ds";
+
+  std::vector<PredictionReport> reports;
+  for (const bool enabled : {true, false}) {
+    options.enable_incremental_sampling = enabled;
+    PredictionService service(options);
+    request.graph = &base;
+    ASSERT_TRUE(service.Predict(request).ok());
+    request.graph = &mutated;
+    auto report = service.Predict(request);
+    ASSERT_TRUE(report.ok());
+    const ServiceCacheStats stats = service.cache_stats();
+    EXPECT_EQ(stats.incremental_sample_updates, enabled ? 1u : 0u);
+    reports.push_back(*report);
+  }
+  ExpectReportsIdentical(reports[0], reports[1]);
+}
+
+TEST(ServiceStalenessTest, ClearCachesReportsEvictions) {
+  const Graph g1 = TestGraph(3000, 73);
+  const Graph g2 = TestGraph(3000, 74);
+  PredictionService service(IncrementalServiceOptions());
+  const auto batch = TestBatch(g1, g2);
+  const auto results = service.PredictBatch(batch);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  const ServiceCacheEvictions evicted = service.ClearCaches();
+  EXPECT_EQ(evicted.sample_entries, 2u);   // one sample per graph
+  EXPECT_EQ(evicted.profile_entries, 8u);  // one per request
+  EXPECT_EQ(evicted.incremental_states, 1u);
+
+  const ServiceCacheEvictions again = service.ClearCaches();
+  EXPECT_EQ(again.sample_entries, 0u);
+  EXPECT_EQ(again.profile_entries, 0u);
+  EXPECT_EQ(again.incremental_states, 0u);
 }
 
 }  // namespace

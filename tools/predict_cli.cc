@@ -15,6 +15,8 @@
 //                         [--ratio R] [--method BRJ|RJ|MHRW|FF] [--seed N]
 //                         [--scale S] [--workers N] [--threads T]
 //                         [--history FILE]
+//   predict_cli mutate    (--dataset NAME | --graph FILE) --out FILE
+//                         [--churn FRACTION] [--seed N]
 //   predict_cli scenarios
 //   predict_cli whatif    --algorithm A (--dataset NAME | --graph FILE)
 //                         [--scenarios S1,S2,... | all] [--sla SECONDS]
@@ -56,6 +58,7 @@
 #include "core/history.h"
 #include "core/predictor.h"
 #include "datasets/datasets.h"
+#include "graph/delta.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "sampling/quality.h"
@@ -187,13 +190,17 @@ SamplerKind ParseSamplerKind(const std::string& name) {
   return SamplerKind::kBiasedRandomJump;
 }
 
-/// The sampler flag triple (--method/--ratio/--seed) shared by
-/// sample/predict/batch/whatif.
+/// The sampler flag set (--method/--ratio/--seed/--segment-steps) shared
+/// by sample/predict/batch/whatif. --segment-steps N turns on segmented
+/// walks (RJ/BRJ), the prerequisite for incremental re-sampling across
+/// graph versions.
 Status ParseSamplerFlags(const Flags& flags, SamplerOptions* options) {
   options->kind = ParseSamplerKind(GetFlag(flags, "method", "BRJ"));
   PREDICT_ASSIGN_OR_RETURN(options->sampling_ratio,
                            ParseDoubleFlag(flags, "ratio", 0.1));
   PREDICT_ASSIGN_OR_RETURN(options->seed, ParseUint64Flag(flags, "seed", 42));
+  PREDICT_ASSIGN_OR_RETURN(options->walk_segment_steps,
+                           ParseUint64Flag(flags, "segment-steps", 0));
   return Status::OK();
 }
 
@@ -658,13 +665,90 @@ int CmdBatch(const Flags& flags) {
   }
   const ServiceCacheStats stats = service.cache_stats();
   std::printf("\n%zu requests; sample cache %llu hits / %llu misses, profile "
-              "cache %llu hits / %llu misses\n",
+              "cache %llu hits / %llu misses, %llu stale-profile hits, "
+              "%llu history-only fallbacks\n",
               requests.size(),
               static_cast<unsigned long long>(stats.sample_hits),
               static_cast<unsigned long long>(stats.sample_misses),
               static_cast<unsigned long long>(stats.profile_hits),
-              static_cast<unsigned long long>(stats.profile_misses));
+              static_cast<unsigned long long>(stats.profile_misses),
+              static_cast<unsigned long long>(stats.stale_profile_hits),
+              static_cast<unsigned long long>(stats.history_only_fallbacks));
+  if (stats.incremental_sample_updates > 0) {
+    std::printf("incremental sampling: %llu updates, %llu segments reused\n",
+                static_cast<unsigned long long>(
+                    stats.incremental_sample_updates),
+                static_cast<unsigned long long>(
+                    stats.incremental_segments_reused));
+  }
   return failures == 0 ? 0 : 1;
+}
+
+// Applies deterministic seeded churn to a graph through the delta
+// overlay (graph/delta.h) and writes the compacted mutated version as
+// PRDG binary — the companion to `predict` for exercising incremental
+// re-prediction: mutate, then predict the new file.
+int CmdMutate(const Flags& flags) {
+  auto graph = LoadInputGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = GetFlag(flags, "out");
+  if (out.empty()) {
+    std::fprintf(stderr, "mutate needs --out FILE\n");
+    return 2;
+  }
+  auto fraction = ParseDoubleFlag(flags, "churn", 0.01);
+  auto seed = ParseUint64Flag(flags, "seed", 42);
+  if (!fraction.ok()) return FlagError(fraction.status());
+  if (!seed.ok()) return FlagError(seed.status());
+
+  EvolvingGraph evolving(std::move(graph).MoveValue());
+  ChurnOptions churn;
+  churn.fraction = *fraction;
+  churn.seed = *seed;
+  auto batch = GenerateChurn(evolving.base(), churn);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  for (const EdgeDelta& delta : *batch) {
+    if (delta.op == EdgeDelta::Op::kInsert) {
+      ++inserts;
+    } else {
+      ++deletes;
+    }
+  }
+  std::printf("base:    %s, version %016llx\n",
+              evolving.base().ToString().c_str(),
+              static_cast<unsigned long long>(evolving.VersionFingerprint()));
+  const Status applied = evolving.Apply(*batch);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "%s\n", applied.ToString().c_str());
+    return 1;
+  }
+  auto current = evolving.Current();
+  if (!current.ok()) {
+    std::fprintf(stderr, "%s\n", current.status().ToString().c_str());
+    return 1;
+  }
+  const Status written = WriteBinaryGraphFile(**current, out);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("churn:   %llu inserts, %llu deletes (fraction %g, seed %llu)\n",
+              static_cast<unsigned long long>(inserts),
+              static_cast<unsigned long long>(deletes), *fraction,
+              static_cast<unsigned long long>(*seed));
+  std::printf("mutated: %s, version %016llx -> %s\n",
+              (*current)->ToString().c_str(),
+              static_cast<unsigned long long>(evolving.VersionFingerprint()),
+              out.c_str());
+  return 0;
 }
 
 int CmdBound(const Flags& flags) {
@@ -920,6 +1004,8 @@ int Usage() {
       "  batch      --algorithms A,B,... --datasets N1,N2,... [--ratio R]\n"
       "             [--threads T] [--workers N] [--scale S] [--history F]\n"
       "             [--fail-fast]\n"
+      "  mutate     (--dataset N | --graph F) --out FILE [--churn FRACTION]\n"
+      "             [--seed N]   apply seeded edge churn, write PRDG binary\n"
       "robustness flags (predict/batch): [--failpoints name=spec;...]\n"
       "             [--retries N] [--deadline S] [--degraded]\n"
       "  scenarios  list built-in cluster scenarios\n"
@@ -955,6 +1041,7 @@ int main(int argc, char** argv) {
   if (command == "run") return CmdRun(flags);
   if (command == "predict") return CmdPredict(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "mutate") return CmdMutate(flags);
   if (command == "scenarios") return CmdScenarios();
   if (command == "whatif") return CmdWhatIf(flags);
   if (command == "history") return CmdHistory(flags);
